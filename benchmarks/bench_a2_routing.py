@@ -1,0 +1,78 @@
+"""Ablation A2: replication filtering/routing overhead and effect.
+
+Section II-C4's selective routing drops excluded resources' rows on the
+channel.  This bench measures replication throughput with no filter, with
+a resource exclusion, and with an allowlist, and verifies the sensitive
+rows never reach the hub.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ReplicationChannel, ReplicationFilter
+from repro.etl import ParsedJob, ingest_jobs
+from repro.timeutil import ts
+from repro.warehouse import Database
+
+from conftest import emit
+
+N_JOBS = 3000
+
+
+@pytest.fixture(scope="module")
+def source_schema():
+    schema = Database("satellite").create_schema("modw")
+    jobs = [
+        ParsedJob(
+            job_id=i, user=f"u{i % 23}", pi=f"pi{i % 5}", queue="normal",
+            application=f"app{i % 7}",
+            submit_ts=ts(2017, 1, 1) + i * 30,
+            start_ts=ts(2017, 1, 1) + i * 30 + 60,
+            end_ts=ts(2017, 1, 1) + i * 30 + 3700,
+            nodes=1, cores=4, req_walltime_s=3600,
+            state="COMPLETED", exit_code=0,
+            resource="secure_cluster" if i % 3 == 0 else "open_cluster",
+        )
+        for i in range(N_JOBS)
+    ]
+    ingest_jobs(schema, jobs)
+    return schema
+
+
+def _replicate(source, filter=None):
+    db = Database("hub")
+    target = db.create_schema("fed")
+    channel = ReplicationChannel(source, target, filter=filter)
+    channel.catch_up()
+    return channel, target
+
+
+@pytest.mark.parametrize("label,filter_factory", [
+    ("unfiltered", lambda: None),
+    ("exclude_secure", lambda: ReplicationFilter(
+        exclude_resources={"secure_cluster"})),
+    ("allowlist_open", lambda: ReplicationFilter(
+        include_resources={"open_cluster"})),
+])
+def test_a2_routing_throughput(benchmark, source_schema, label, filter_factory):
+    channel, target = benchmark(
+        lambda: _replicate(source_schema, filter_factory())
+    )
+
+    fact_rows = len(target.table("fact_job"))
+    resources = {r["name"] for r in target.table("dim_resource").rows()}
+    lines = [
+        f"A2 routing [{label}]:",
+        f"  events seen {channel.stats.events_seen}, applied "
+        f"{channel.stats.events_applied}, filtered "
+        f"{channel.stats.events_filtered}",
+        f"  hub fact_job rows: {fact_rows}; hub resources: {sorted(resources)}",
+    ]
+    emit(f"a2_routing_{label}", "\n".join(lines))
+
+    if label == "unfiltered":
+        assert fact_rows == N_JOBS
+    else:
+        assert resources == {"open_cluster"}
+        assert fact_rows == sum(1 for i in range(N_JOBS) if i % 3 != 0)

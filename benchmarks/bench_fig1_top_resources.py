@@ -1,0 +1,46 @@
+"""Figure 1: top three resources by total XD SUs charged, 2017, monthly.
+
+Paper artifact: an XDMoD timeseries chart of standardized XD SUs for
+Comet (largest), Stampede2 (ramping up through 2017), and Stampede
+(decommissioned during 2017).  The bench regenerates the same three
+monthly series from the federation hub and measures the federated
+query+chart path.
+"""
+
+from __future__ import annotations
+
+from repro.realms import jobs_realm
+from repro.ui import ChartBuilder, render_table
+
+from conftest import emit
+
+
+def test_fig1_top_resources_by_xdsu(benchmark, fig1_federation):
+    hub = fig1_federation["hub"]
+    start, end = fig1_federation["range"]
+    builder = ChartBuilder(jobs_realm(), hub.federated_schemas())
+
+    def run_query():
+        return builder.timeseries(
+            "xdsu", start=start, end=end, group_by="resource", top_n=3,
+            title="Figure 1: top 3 resources by total XD SUs charged, 2017",
+        )
+
+    chart = benchmark(run_query)
+
+    lines = [render_table(chart)]
+    ranking = [(s.label, s.total()) for s in chart.series]
+    lines.append("")
+    lines.append("annual totals (XD SUs):")
+    for name, total in ranking:
+        lines.append(f"  {name:<11} {total:>14,.0f}")
+    lines.append("")
+    lines.append(f"paper shape: Comet > Stampede2 > Stampede; "
+                 f"measured: {' > '.join(n for n, _ in ranking)}")
+    emit("fig1_top_resources", "\n".join(lines))
+
+    # shape assertions (the reproduction contract)
+    assert [n for n, _ in ranking] == ["comet", "stampede2", "stampede"]
+    series = {s.label: [v or 0 for _, v in s.points] for s in chart.series}
+    assert series["stampede"][-1] < series["stampede"][0]  # decommissioning
+    assert series["stampede2"][-1] > series["stampede2"][0]  # ramp-up

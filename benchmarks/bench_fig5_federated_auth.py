@@ -1,0 +1,69 @@
+"""Figure 5: authentication across an XDMoD federation.
+
+Paper artifact: instances X and Z with direct-authenticating users, Y and
+the federated hub with SSO users.  The bench wires that exact topology —
+hub as identity provider for its satellites (Section II-D3) — and measures
+a federated user's sign-on fan-out across all member instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.auth import (
+    Account,
+    Role,
+    SsoKind,
+    SsoManager,
+    hub_as_identity_provider,
+    make_provider,
+)
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def federation_auth():
+    # X and Z: local-password instances; Y and the hub: SSO
+    site_x = SsoManager("instance_x")
+    site_z = SsoManager("instance_z")
+    for manager in (site_x, site_z):
+        manager.accounts.add(Account("localuser", roles={Role.USER}))
+        manager.local.set_password("localuser", "local-password-1")
+
+    site_y = SsoManager("instance_y")
+    hub = SsoManager("federated_hub")
+    hub_idp = hub_as_identity_provider("federated_hub", [site_y, hub])
+    hub_idp.register_user("feduser", {"mail": "feduser@project.org"})
+    return site_x, site_y, site_z, hub, hub_idp
+
+
+def test_fig5_federated_signon_fanout(benchmark, federation_auth):
+    site_x, site_y, site_z, hub, hub_idp = federation_auth
+
+    def federation_wide_signon():
+        sessions = []
+        # direct users on X and Z
+        sessions.append(site_x.login_local("localuser", "local-password-1"))
+        sessions.append(site_z.login_local("localuser", "local-password-1"))
+        # the federated user signs onto Y and the hub via SSO
+        for manager in (site_y, hub):
+            assertion = hub_idp.idp.issue("feduser", manager.instance)
+            sessions.append(manager.login_sso(assertion))
+        return sessions
+
+    sessions = benchmark(federation_wide_signon)
+
+    lines = ["Figure 5: sign-on paths across the federation", "=" * 50]
+    for session in sessions:
+        lines.append(
+            f"  {session.username:<10} -> {session.instance:<14} "
+            f"via {session.method}"
+        )
+    lines.append("  hub IdP trusted by: instance_y, federated_hub")
+    emit("fig5_federated_auth", "\n".join(lines))
+
+    assert {s.instance for s in sessions} == {
+        "instance_x", "instance_z", "instance_y", "federated_hub",
+    }
+    assert {s.method for s in sessions} == {"local", "keycloak"}

@@ -1,0 +1,51 @@
+"""Figure 7: cloud realm — average core hours per VM, by VM memory size.
+
+Paper artifact: monthly average core hours used per VM on CCR's research
+cloud, 2017, grouped into memory bins <1 GB, 1-2 GB, 2-4 GB, and 4-8 GB
+(bigger-memory VMs accumulate more core hours).  The bench regenerates the
+four monthly series from the federated hub and measures the cloud-realm
+query path.
+"""
+
+from __future__ import annotations
+
+from repro.aggregation import FIG7_VM_MEMORY_LEVELS
+from repro.realms import cloud_realm
+from repro.ui import ChartBuilder, render_table
+
+from conftest import emit
+
+
+def test_fig7_avg_core_hours_by_vm_memory(benchmark, heterogeneous_hub):
+    hub = heterogeneous_hub["hub"]
+    start, end = heterogeneous_hub["range"]
+    builder = ChartBuilder(cloud_realm(), hub.federated_schemas())
+
+    def run_query():
+        return builder.timeseries(
+            "avg_core_hours_per_vm", start=start, end=end,
+            group_by="memory_level",
+            title=("Figure 7: average core hours per VM by VM memory size, "
+                   "CCR research cloud, 2017"),
+        )
+
+    chart = benchmark(run_query)
+
+    lines = [render_table(chart, value_format="{:,.1f}")]
+    annual = cloud_realm().query(
+        hub.federated_schemas(), "avg_core_hours_per_vm",
+        start=start, end=end, group_by="memory_level", view="aggregate",
+    ).totals()
+    lines.append("")
+    lines.append("annual average core hours per VM by memory bin:")
+    ordered = [l for l in FIG7_VM_MEMORY_LEVELS.labels if l in annual]
+    for label in ordered:
+        lines.append(f"  {label:<8} {annual[label]:>10,.1f}")
+    lines.append("")
+    lines.append("paper shape: larger-memory VMs average more core hours")
+    emit("fig7_cloud_realm", "\n".join(lines))
+
+    # all four bins present, series are monthly
+    assert set(chart.labels) == set(FIG7_VM_MEMORY_LEVELS.labels)
+    # shape: the biggest bin out-consumes the smallest
+    assert annual["4-8 GB"] > annual["<1 GB"]

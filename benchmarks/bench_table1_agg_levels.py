@@ -1,0 +1,125 @@
+"""Table I: job wall-time aggregation levels on satellites and hub.
+
+Paper artifact: the table of wall-time bins — Instance A (5-hour limit:
+1-60 s / 1-60 min / 1-5 h), Instance B (50-hour limit: 1-10 h / 10-20 h /
+20-50 h), and the federation hub's superset (0-60 min / 1-5 h / 5-10 h /
+10-20 h / 20-50 h).  The bench ingests wall-time-diverse workloads on both
+instances, aggregates each under its own levels and the hub under its own,
+and prints the realized Table I.  The benchmark measures the hub's
+re-aggregation pass — the cost the paper says administrators pay when
+levels change.
+"""
+
+from __future__ import annotations
+
+from repro.aggregation import (
+    AggregationConfig,
+    TABLE1_FEDERATION_HUB,
+    TABLE1_INSTANCE_A,
+    TABLE1_INSTANCE_B,
+)
+from repro.core import FederationHub, XdmodInstance
+from repro.simulators import (
+    ResourceSpec,
+    WorkloadConfig,
+    WorkloadGenerator,
+    simulate_resource,
+    to_sacct_log,
+)
+from repro.timeutil import SECONDS_PER_HOUR, ts
+
+from conftest import emit
+
+START, END = ts(2017, 1, 1), ts(2017, 3, 1)
+
+
+def _build():
+    from repro.simulators import QueueSpec
+
+    # Instance A: resources with a 5-hour wall-time limit
+    res_a = ResourceSpec(
+        "res_a", 16, 16, 64, 16.0,
+        queues=(
+            QueueSpec("debug", 1 * SECONDS_PER_HOUR, priority=10),
+            QueueSpec("normal", 5 * SECONDS_PER_HOUR),
+            QueueSpec("largemem", 5 * SECONDS_PER_HOUR),
+        ),
+    )
+    # Instance B: resources with a 50-hour wall-time limit
+    res_b = ResourceSpec("res_b", 16, 16, 64, 16.0)
+
+    instance_a = XdmodInstance(
+        "instance_a",
+        aggregation=AggregationConfig(walltime_levels=TABLE1_INSTANCE_A),
+    )
+    instance_b = XdmodInstance(
+        "instance_b",
+        aggregation=AggregationConfig(walltime_levels=TABLE1_INSTANCE_B),
+    )
+    for inst, res, seed in ((instance_a, res_a, 61), (instance_b, res_b, 62)):
+        config = WorkloadConfig(seed=seed, jobs_per_day=15,
+                                max_cores=res.total_cores)
+        records = simulate_resource(
+            res, WorkloadGenerator(config).generate(START, END)
+        )
+        inst.pipeline.ingest_sacct(to_sacct_log(records),
+                                   default_resource=res.name)
+        inst.aggregate(["month"])
+
+    hub = FederationHub(
+        "hub",
+        aggregation=AggregationConfig(walltime_levels=TABLE1_FEDERATION_HUB),
+    )
+    hub.join(instance_a)
+    hub.join(instance_b)
+    return instance_a, instance_b, hub
+
+
+def _level_counts(schema) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for row in schema.table("agg_job_month").rows():
+        counts[row["walltime_level"]] = (
+            counts.get(row["walltime_level"], 0) + row["n_jobs_ended"]
+        )
+    return counts
+
+
+def test_table1_aggregation_levels(benchmark):
+    instance_a, instance_b, hub = _build()
+
+    result = benchmark(hub.aggregate_federation, ["month"])
+
+    counts_a = _level_counts(instance_a.schema)
+    counts_b = _level_counts(instance_b.schema)
+    hub_counts: dict[str, int] = {}
+    for schema in hub.federated_schemas().values():
+        for level, n in _level_counts(schema).items():
+            hub_counts[level] = hub_counts.get(level, 0) + n
+
+    all_levels = list(TABLE1_INSTANCE_A.labels) + [
+        l for l in TABLE1_FEDERATION_HUB.labels
+        if l not in TABLE1_INSTANCE_A.labels
+    ] + [l for l in TABLE1_INSTANCE_B.labels
+         if l not in TABLE1_FEDERATION_HUB.labels]
+    lines = ["Table I: jobs per wall-time aggregation level",
+             "=" * 64,
+             f"{'level':<16}{'Instance A':>12}{'Instance B':>12}{'Hub':>12}"]
+    for level in all_levels + ["outside"]:
+        a = counts_a.get(level, "-")
+        b = counts_b.get(level, "-")
+        h = hub_counts.get(level, "-")
+        if (a, b, h) == ("-", "-", "-"):
+            continue
+        lines.append(f"{level:<16}{a!s:>12}{b!s:>12}{h!s:>12}")
+    total_sat = sum(counts_a.values()) + sum(counts_b.values())
+    total_hub = sum(hub_counts.values())
+    lines.append("")
+    lines.append(f"satellite job total {total_sat}, hub job total "
+                 f"{total_hub} -> no data lost or changed")
+    emit("table1_agg_levels", "\n".join(lines))
+
+    # Table I contract: each party bins under its own configured levels
+    assert set(counts_a) <= set(TABLE1_INSTANCE_A.labels) | {"outside"}
+    assert set(counts_b) <= set(TABLE1_INSTANCE_B.labels) | {"outside"}
+    assert set(hub_counts) <= set(TABLE1_FEDERATION_HUB.labels) | {"outside"}
+    assert total_sat == total_hub

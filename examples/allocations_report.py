@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Allocations: granting, charging, and burn-rate reporting.
+
+XDMoD supports "Jobs, Performance, and Allocations data" (Section III).
+This example grants each PI group a yearly XD SU allocation on a simulated
+cluster, reconciles every job against the covering grant, and produces the
+burn-down report a center director reads — including the PIs who ran out
+and the jobs that ran with no active allocation.
+
+Run:  python examples/allocations_report.py
+"""
+
+from __future__ import annotations
+
+from repro import XdmodInstance
+from repro.realms import (
+    Allocation,
+    aggregate_allocations,
+    allocation_balances,
+    allocations_realm,
+    reconcile_charges,
+    register_allocations,
+)
+from repro.simulators import (
+    ConversionTable,
+    WorkloadGenerator,
+    ccr_like_site,
+    simulate_resource,
+    to_sacct_log,
+)
+from repro.timeutil import ts
+from repro.ui import render_bars
+
+
+def main() -> None:
+    site = ccr_like_site(scale=0.2)
+    start, end = ts(2017, 1, 1), ts(2018, 1, 1)
+    records = simulate_resource(
+        site.resource, WorkloadGenerator(site.workload).generate(start, end)
+    )
+    conversion = ConversionTable.benchmark_resources({site.name: site.resource})
+    instance = XdmodInstance("ccr_xdmod", conversion=conversion)
+    instance.pipeline.ingest_sacct(
+        to_sacct_log(records), default_resource=site.name
+    )
+    schema = instance.schema
+
+    # grant every PI the same annual budget; sized so some groups overspend
+    pis = sorted(r["username"] for r in schema.table("dim_pi").rows())
+    total_xdsu = sum(r["xdsu"] for r in schema.table("fact_job").rows())
+    per_pi_grant = round(total_xdsu / len(pis) * 1.1, -3)  # ~10% headroom
+    register_allocations(schema, [
+        Allocation(i + 1, pi, site.name, per_pi_grant, start, end)
+        for i, pi in enumerate(pis)
+    ])
+    print(f"granted {per_pi_grant:,.0f} XD SUs to each of {len(pis)} PI groups")
+
+    charged, uncovered = reconcile_charges(schema)
+    print(f"reconciled {charged} jobs against allocations "
+          f"({uncovered} ran without coverage)")
+
+    aggregate_allocations(schema, "month")
+    realm = allocations_realm()
+    utilization = realm.query(
+        schema, "grant_utilization", start=start, end=end,
+        group_by="project", view="aggregate",
+    ).totals()
+
+    balances = allocation_balances(schema)
+    print()
+    labels = [b["project"] for b in balances]
+    used = [b["xdsu_charged"] for b in balances]
+    print(render_bars(labels, used,
+                      title=f"XD SUs charged per PI group "
+                            f"(grant = {per_pi_grant:,.0f})"))
+
+    overspent = [b for b in balances if b["overspent"]]
+    print(f"\n{len(overspent)} group(s) exceeded their grant:")
+    for b in overspent:
+        print(f"  {b['project']}: charged {b['xdsu_charged']:,.0f} of "
+              f"{b['su_granted']:,.0f} "
+              f"({utilization[b['project']]:.0%} utilization)")
+    quietest = min(balances, key=lambda b: b["xdsu_charged"])
+    print(f"least active group: {quietest['project']} "
+          f"({quietest['remaining']:,.0f} XD SUs unspent)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""App-kernel QoS monitoring: catch a resource degradation.
+
+The Application Kernel module (Section I-E) runs fixed benchmark jobs on a
+schedule; departures from each kernel's baseline flag quality-of-service
+problems.  This example injects a 10-day I/O slowdown into a year of
+kernel runs and shows the control-chart detector localizing it.
+
+Run:  python examples/qos_appkernels.py
+"""
+
+from __future__ import annotations
+
+from repro.appkernels import (
+    AppKernelRunner,
+    Degradation,
+    availability,
+    detect_flags,
+    ingest_appkernels,
+    merge_incidents,
+)
+from repro.simulators import ResourceSpec
+from repro.timeutil import SECONDS_PER_DAY, iso, ts
+from repro.warehouse import Database
+
+
+def main() -> None:
+    resource = ResourceSpec("ub_hpc", 32, 16, 128, 16.0)
+    runner = AppKernelRunner(resource, seed=7, failure_rate=0.01)
+
+    # a filesystem problem: I/O kernels slow 80% for ten days in June
+    incident_start = ts(2017, 6, 10)
+    runner.inject(
+        Degradation(
+            start_ts=incident_start,
+            end_ts=incident_start + 10 * SECONDS_PER_DAY,
+            slowdown=1.8,
+            kernels=("ior",),
+        )
+    )
+    results = runner.run(ts(2017, 1, 1), ts(2018, 1, 1))
+    print(f"executed {len(results)} app-kernel runs across "
+          f"{len({(r.kernel, r.cores) for r in results})} series")
+
+    print("\nkernel availability (success rate):")
+    for kernel, rate in sorted(availability(results).items()):
+        print(f"  {kernel:<10} {rate:6.1%}")
+
+    flags = detect_flags(results)
+    incidents = merge_incidents(flags, gap_s=3 * SECONDS_PER_DAY)
+    print(f"\ncontrol-chart flags: {len(flags)}; merged incidents: "
+          f"{len(incidents)}")
+    for incident in incidents:
+        print(f"  {incident.kernel}@{incident.cores} cores: "
+              f"{iso(incident.start_ts)} .. {iso(incident.end_ts)} "
+              f"({incident.n_runs} runs, worst {incident.worst_sigma:.1f} sigma)")
+
+    window_end = incident_start + 10 * SECONDS_PER_DAY
+    detected = [
+        i for i in incidents
+        if i.kernel == "ior" and i.start_ts < window_end
+        and i.end_ts >= incident_start
+    ]
+    if detected:
+        lead = min(detected, key=lambda i: i.start_ts)
+        drift_days = (lead.start_ts - incident_start) / SECONDS_PER_DAY
+        print(f"\ninjected I/O degradation detected {drift_days:.1f} days "
+              f"after onset, on the ior kernel only (as injected)")
+    else:
+        print("\nWARNING: injected degradation not detected")
+
+    # persist the history in the instance warehouse
+    schema = Database("ccr").create_schema("modw")
+    n = ingest_appkernels(schema, results)
+    print(f"stored {n} runs in fact_appkernel")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Quickstart: a single Open XDMoD instance on synthetic SLURM logs.
+
+Builds the whole single-site pipeline the paper's Section I describes:
+
+1. simulate a CCR-style cluster and its job stream (sacct format),
+2. shred + ingest into the instance's data warehouse,
+3. run the nightly aggregation,
+4. chart metrics, drill down, inspect one job in the Job Viewer,
+5. export data as CSV.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import XdmodInstance, jobs_realm
+from repro.simulators import (
+    ConversionTable,
+    WorkloadGenerator,
+    ccr_like_site,
+    generate_performance_batch,
+    simulate_resource,
+    to_sacct_log,
+)
+from repro.timeutil import ts
+from repro.ui import ChartBuilder, JobViewer, UsageExplorer, render_table, result_to_csv
+
+
+def main() -> None:
+    # --- 1. synthesize six months of accounting data -------------------
+    site = ccr_like_site(scale=0.25)
+    start, end = ts(2017, 1, 1), ts(2017, 7, 1)
+    records = simulate_resource(
+        site.resource, WorkloadGenerator(site.workload).generate(start, end)
+    )
+    sacct_dump = to_sacct_log(records)
+    print(f"simulated {len(records)} jobs on {site.name} "
+          f"({site.resource.total_cores} cores)")
+
+    # --- 2. ingest into a fresh XDMoD instance --------------------------
+    # the generator exports the institutional hierarchy + science fields,
+    # playing the role of Open XDMoD's hierarchy.json configuration
+    generator = WorkloadGenerator(site.workload)
+    conversion = ConversionTable.benchmark_resources({site.name: site.resource})
+    instance = XdmodInstance(
+        "ccr_xdmod",
+        conversion=conversion,
+        directory=generator.person_directory(),
+        science_fields=generator.science_fields(),
+    )
+    ingested = instance.pipeline.ingest_sacct(
+        sacct_dump, default_resource=site.name
+    )
+    perf = generate_performance_batch(records, site.resource, max_jobs=25)
+    instance.pipeline.ingest_performance(perf)
+    print(f"ingested {ingested} jobs + {len(perf)} SUPReMM job profiles")
+
+    # --- 3. nightly aggregation ----------------------------------------
+    built = instance.aggregate(["month"])
+    print(f"aggregation built: {built}")
+
+    # --- 4. chart, drill down, job viewer --------------------------------
+    builder = ChartBuilder(jobs_realm(), instance.schema)
+    chart = builder.timeseries(
+        "cpu_hours", start=start, end=end, group_by="application",
+        top_n=5, title="Top applications by CPU hours (monthly)",
+    )
+    print()
+    print(render_table(chart))
+
+    # institutional drill-down: decanal unit -> department -> user
+    explorer = UsageExplorer(jobs_realm(), instance.schema)
+    explorer.configure("cpu_hours", start=start, end=end)
+    explorer.group_by("decanal_unit")
+    units = explorer.fetch().totals()
+    top_unit = max(units, key=units.get)
+    print(f"\nbusiest decanal unit: {top_unit} "
+          f"({units[top_unit]:,.0f} CPU hours); drilling down...")
+    explorer.drill_down(top_unit, "department")
+    departments = explorer.fetch().totals()
+    top_department = max(departments, key=departments.get)
+    explorer.drill_down(top_department, "person")
+    print(f"top users in {top_unit} / {top_department}:")
+    for user, hours in sorted(
+        explorer.fetch().totals().items(), key=lambda kv: -kv[1]
+    )[:5]:
+        print(f"  {user:<10} {hours:>12,.0f} CPU hours")
+    print("breadcrumbs:", " -> ".join(explorer.breadcrumbs[-3:]))
+
+    viewer = JobViewer(instance.schema)
+    detail = viewer.fetch(site.name, perf[0].job_id)
+    acct = detail.accounting
+    print(f"\nJob Viewer: job {acct['job_id']} ({acct['application']}) "
+          f"by {acct['user']}: {acct['cores']} cores, "
+          f"state {acct['state']}, {acct['cpu_hours']:.1f} CPU hours")
+    print(f"  perf summary: cpu_user_avg="
+          f"{detail.performance_summary['cpu_user_avg']:.2f}, "
+          f"mem_used_gb_max={detail.performance_summary['mem_used_gb_max']:.1f}")
+    print("  job script (first 3 lines): "
+          + " / ".join(detail.job_script.splitlines()[:3]))
+
+    # --- 5. export --------------------------------------------------------
+    result = jobs_realm().query(
+        instance.schema, "xdsu", start=start, end=end, group_by="queue",
+    )
+    csv_text = result_to_csv(result)
+    print(f"\nCSV export: {len(csv_text.splitlines()) - 1} rows "
+          f"(first line: {csv_text.splitlines()[1]})")
+
+
+if __name__ == "__main__":
+    main()

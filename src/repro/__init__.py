@@ -1,0 +1,100 @@
+"""repro — a Python reproduction of *Federating XDMoD to Monitor Affiliated
+Computing Resources* (HPCMASPA workshop, IEEE CLUSTER 2018).
+
+The package rebuilds, at laptop scale, the whole system the paper
+describes: an Open-XDMoD-equivalent monitoring stack (embedded data
+warehouse, ETL shredders, configurable aggregation, data realms, web-style
+query/chart/report layer, SSO authentication) plus the paper's
+contribution — the **Federation module** — and the two new data realms
+(Storage and Cloud).  Production data sources are replaced by
+deterministic simulators (see DESIGN.md's substitution table).
+
+Quick start::
+
+    from repro import XdmodInstance, FederationHub, jobs_realm
+    from repro.simulators import (
+        WorkloadGenerator, figure1_sites, simulate_resource, to_sacct_log,
+    )
+    from repro.core import standardize_federation
+    from repro.timeutil import ts
+
+    sites = figure1_sites(scale=0.2)
+    conversion, _ = standardize_federation(
+        {n: p.resource for n, p in sites.items()})
+    hub = FederationHub("hub", conversion=conversion)
+    for name, preset in sites.items():
+        inst = XdmodInstance(f"site_{name}", conversion=conversion)
+        recs = simulate_resource(
+            preset.resource,
+            WorkloadGenerator(preset.workload).generate(
+                ts(2017, 1, 1), ts(2018, 1, 1)))
+        inst.pipeline.ingest_sacct(to_sacct_log(recs), default_resource=name)
+        hub.join(inst, mode="tight")
+    hub.aggregate_federation(["month"])
+    top3 = jobs_realm().query(
+        hub.federated_schemas(), "xdsu",
+        start=ts(2017, 1, 1), end=ts(2018, 1, 1), group_by="resource",
+    ).top(3)
+"""
+
+from .aggregation import (
+    AggregationConfig,
+    AggregationLevel,
+    AggregationLevelSet,
+    Aggregator,
+    TABLE1_FEDERATION_HUB,
+    TABLE1_INSTANCE_A,
+    TABLE1_INSTANCE_B,
+)
+from .core import (
+    FederationHub,
+    FederationNetwork,
+    IdentityMap,
+    LooseChannel,
+    ReplicationChannel,
+    ReplicationFilter,
+    RoutingPolicy,
+    XDMOD_VERSION,
+    XdmodInstance,
+    check_federation,
+    regenerate_satellite,
+    standardize_federation,
+)
+from .etl import IngestPipeline
+from .realms import cloud_realm, jobs_realm, storage_realm, supremm_realm
+from .ui import ChartBuilder, JobViewer, UsageExplorer
+from .warehouse import Database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregationConfig",
+    "AggregationLevel",
+    "AggregationLevelSet",
+    "Aggregator",
+    "ChartBuilder",
+    "Database",
+    "FederationHub",
+    "FederationNetwork",
+    "IdentityMap",
+    "IngestPipeline",
+    "JobViewer",
+    "LooseChannel",
+    "ReplicationChannel",
+    "ReplicationFilter",
+    "RoutingPolicy",
+    "TABLE1_FEDERATION_HUB",
+    "TABLE1_INSTANCE_A",
+    "TABLE1_INSTANCE_B",
+    "UsageExplorer",
+    "XDMOD_VERSION",
+    "XdmodInstance",
+    "check_federation",
+    "cloud_realm",
+    "jobs_realm",
+    "regenerate_satellite",
+    "standardize_federation",
+    "storage_realm",
+    "supremm_realm",
+    "__version__",
+]

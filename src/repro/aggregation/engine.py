@@ -1,0 +1,535 @@
+"""Aggregate-table builder: XDMoD's nightly pre-binning step.
+
+"Every day, aggregation processes run against newly ingested data in the
+XDMoD data warehouse, binning numeric data in aggregation tables.  XDMoD
+can then use these tables to group metrics by appropriately-sized
+dimensions."
+
+For each period (day/month/quarter/year) the engine builds:
+
+- ``agg_job_<period>`` from ``fact_job`` — grouped by period x resource x
+  person x PI x application x queue x wall-time level x job-size level,
+  with additive measures.  Usage measures (CPU hours, node hours, XD SUs,
+  wall hours) are *apportioned* across the periods a job overlaps, so
+  period totals conserve the raw totals exactly; job counts attribute to
+  the period the job ended in (XDMoD's "jobs ended" convention), and wait
+  time to the period the job started in.
+- ``agg_storage_<period>`` from ``fact_storage`` — per-timestamp totals
+  averaged within the period (storage metrics are point-in-time gauges,
+  not additive).
+- ``agg_cloud_<period>`` from ``fact_vm`` / ``fact_vm_interval`` — running
+  core-hours apportioned by overlap, binned by the VM-memory level set
+  (Figure 7), plus VM started/ended/active counts.
+
+Re-aggregation (the Table I scenario: hub levels change when a new
+satellite joins) drops and rebuilds; raw tables are never modified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..timeutil import (
+    SECONDS_PER_HOUR,
+    overlap_seconds,
+    period_label,
+    period_next,
+    period_range,
+    period_start,
+)
+from ..warehouse import ColumnType, Schema, TableSchema, make_columns
+from .levels import (
+    DEFAULT_JOBSIZE_LEVELS,
+    DEFAULT_WALLTIME_LEVELS,
+    FIG7_VM_MEMORY_LEVELS,
+    AggregationLevelSet,
+)
+
+C = ColumnType
+
+
+@dataclass(frozen=True)
+class AggregationConfig:
+    """Per-instance aggregation settings (the JSON-managed knobs)."""
+
+    walltime_levels: AggregationLevelSet = DEFAULT_WALLTIME_LEVELS
+    jobsize_levels: AggregationLevelSet = DEFAULT_JOBSIZE_LEVELS
+    vm_memory_levels: AggregationLevelSet = FIG7_VM_MEMORY_LEVELS
+    periods: tuple[str, ...] = ("day", "month", "quarter", "year")
+
+
+def agg_job_schema(period: str) -> TableSchema:
+    return TableSchema(
+        f"agg_job_{period}",
+        make_columns([
+            ("period_start", C.TIMESTAMP, False),
+            ("period_label", C.STR, False),
+            ("resource_id", C.INT, False),
+            ("person_id", C.INT, False),
+            ("pi_id", C.INT, False),
+            ("app_id", C.INT, False),
+            ("queue_id", C.INT, False),
+            ("walltime_level", C.STR, False),
+            ("jobsize_level", C.STR, False),
+            ("n_jobs_ended", C.INT, False),
+            ("n_jobs_started", C.INT, False),
+            ("cpu_hours", C.FLOAT, False),
+            ("node_hours", C.FLOAT, False),
+            ("xdsu", C.FLOAT, False),
+            ("wall_hours", C.FLOAT, False),
+            ("wait_hours", C.FLOAT, False),
+        ]),
+        primary_key=(
+            "period_start", "resource_id", "person_id", "pi_id",
+            "app_id", "queue_id", "walltime_level", "jobsize_level",
+        ),
+        indexes=("period_start", "resource_id"),
+    )
+
+
+def agg_storage_schema(period: str) -> TableSchema:
+    return TableSchema(
+        f"agg_storage_{period}",
+        make_columns([
+            ("period_start", C.TIMESTAMP, False),
+            ("period_label", C.STR, False),
+            ("resource_id", C.INT, False),
+            ("filesystem", C.STR, False),
+            ("resource_type", C.STR, False),
+            ("avg_file_count", C.FLOAT, False),
+            ("avg_logical_gb", C.FLOAT, False),
+            ("avg_physical_gb", C.FLOAT, False),
+            ("sum_quota_utilization", C.FLOAT, False),
+            ("n_quota_samples", C.INT, False),
+            ("avg_soft_quota_gb", C.FLOAT, False),
+            ("avg_hard_quota_gb", C.FLOAT, False),
+            ("user_count", C.INT, False),
+            ("n_snapshots", C.INT, False),
+        ]),
+        primary_key=("period_start", "resource_id", "filesystem"),
+        indexes=("period_start",),
+    )
+
+
+def agg_cloud_schema(period: str) -> TableSchema:
+    return TableSchema(
+        f"agg_cloud_{period}",
+        make_columns([
+            ("period_start", C.TIMESTAMP, False),
+            ("period_label", C.STR, False),
+            ("resource_id", C.INT, False),
+            ("project", C.STR, False),
+            ("os", C.STR, False),
+            ("submission_venue", C.STR, False),
+            ("memory_level", C.STR, False),
+            ("core_hours", C.FLOAT, False),
+            ("wall_hours", C.FLOAT, False),
+            ("mem_gb_hours", C.FLOAT, False),
+            ("disk_gb_hours", C.FLOAT, False),
+            ("stopped_hours", C.FLOAT, False),
+            ("paused_hours", C.FLOAT, False),
+            ("n_state_changes", C.INT, False),
+            ("n_vms_active", C.INT, False),
+            ("n_vms_started", C.INT, False),
+            ("n_vms_ended", C.INT, False),
+            ("total_cores", C.FLOAT, False),
+        ]),
+        primary_key=(
+            "period_start", "resource_id", "project", "os",
+            "submission_venue", "memory_level",
+        ),
+        indexes=("period_start",),
+    )
+
+
+def _replace_table(schema: Schema, table_schema: TableSchema) -> None:
+    if schema.has_table(table_schema.name):
+        schema.drop_table(table_schema.name)
+    schema.create_table(table_schema)
+
+
+class Aggregator:
+    """Runs the aggregation step against one warehouse schema."""
+
+    def __init__(self, schema: Schema, config: AggregationConfig | None = None) -> None:
+        self.schema = schema
+        self.config = config or AggregationConfig()
+
+    # -- jobs realm -------------------------------------------------------
+
+    def aggregate_jobs(self, period: str) -> int:
+        """(Re)build ``agg_job_<period>``; returns rows written."""
+        cfg = self.config
+        _replace_table(self.schema, agg_job_schema(period))
+        # a full rebuild covers everything: resync the incremental
+        # bookkeeping so a later incremental pass starts from here
+        seen_name = f"agg_seen_job_{period}"
+        if self.schema.has_table(seen_name):
+            seen = self.schema.table(seen_name)
+            seen.truncate()
+            if self.schema.has_table("fact_job"):
+                for job in self.schema.table("fact_job").rows():
+                    seen.insert(
+                        {"resource_id": job["resource_id"],
+                         "job_id": job["job_id"]}
+                    )
+        if not self.schema.has_table("fact_job"):
+            return 0
+        agg = self.schema.table(f"agg_job_{period}")
+        buckets: dict[tuple, dict[str, float]] = {}
+
+        def bucket(key: tuple) -> dict[str, float]:
+            entry = buckets.get(key)
+            if entry is None:
+                entry = {
+                    "n_jobs_ended": 0, "n_jobs_started": 0, "cpu_hours": 0.0,
+                    "node_hours": 0.0, "xdsu": 0.0, "wall_hours": 0.0,
+                    "wait_hours": 0.0,
+                }
+                buckets[key] = entry
+            return entry
+
+        for job in self.schema.table("fact_job").rows():
+            wl_level = cfg.walltime_levels.level_of(job["walltime_s"])
+            sz_level = cfg.jobsize_levels.level_of(job["cores"])
+            dims = (
+                job["resource_id"], job["person_id"], job["pi_id"],
+                job["app_id"], job["queue_id"], wl_level, sz_level,
+            )
+            # counts: end / start attribution
+            end_period = period_start(period, job["end_ts"])
+            bucket((end_period, *dims))["n_jobs_ended"] += 1
+            start_period = period_start(period, job["start_ts"])
+            b = bucket((start_period, *dims))
+            b["n_jobs_started"] += 1
+            b["wait_hours"] += job["wait_s"] / SECONDS_PER_HOUR
+            # usage: apportion across overlapped periods
+            if job["walltime_s"] > 0:
+                total = job["walltime_s"]
+                for p_start, p_end in period_range(
+                    period, job["start_ts"], job["end_ts"]
+                ):
+                    ov = overlap_seconds(job["start_ts"], job["end_ts"], p_start, p_end)
+                    if ov <= 0:
+                        continue
+                    frac = ov / total
+                    b = bucket((p_start, *dims))
+                    b["cpu_hours"] += job["cpu_hours"] * frac
+                    b["node_hours"] += job["node_hours"] * frac
+                    b["xdsu"] += job["xdsu"] * frac
+                    b["wall_hours"] += total * frac / SECONDS_PER_HOUR
+
+        for key in sorted(buckets):
+            p_start, rid, pid, piid, aid, qid, wl_level, sz_level = key
+            measures = buckets[key]
+            agg.insert(
+                {
+                    "period_start": p_start,
+                    "period_label": period_label(period, p_start),
+                    "resource_id": rid,
+                    "person_id": pid,
+                    "pi_id": piid,
+                    "app_id": aid,
+                    "queue_id": qid,
+                    "walltime_level": wl_level,
+                    "jobsize_level": sz_level,
+                    "n_jobs_ended": int(measures["n_jobs_ended"]),
+                    "n_jobs_started": int(measures["n_jobs_started"]),
+                    "cpu_hours": measures["cpu_hours"],
+                    "node_hours": measures["node_hours"],
+                    "xdsu": measures["xdsu"],
+                    "wall_hours": measures["wall_hours"],
+                    "wait_hours": measures["wait_hours"],
+                }
+            )
+        return len(agg)
+
+    # -- incremental jobs aggregation ----------------------------------------
+
+    def aggregate_jobs_incremental(self, period: str) -> int:
+        """Fold newly ingested jobs into ``agg_job_<period>`` in place.
+
+        This is XDMoD's actual nightly mode: "aggregation processes run
+        against newly ingested data".  A bookkeeping table records which
+        job keys have been folded in, so repeated calls only process the
+        delta; results are identical to a full :meth:`aggregate_jobs`
+        rebuild over the same facts (tested).  Facts are treated as
+        append-only — after updating or deleting job rows, or changing
+        levels, run the full rebuild instead.
+
+        Returns the number of new jobs folded in.
+        """
+        cfg = self.config
+        agg_name = f"agg_job_{period}"
+        seen_name = f"agg_seen_job_{period}"
+        if not self.schema.has_table(agg_name):
+            self.schema.create_table(agg_job_schema(period))
+        if not self.schema.has_table(seen_name):
+            self.schema.create_table(
+                TableSchema(
+                    seen_name,
+                    make_columns([
+                        ("resource_id", C.INT, False),
+                        ("job_id", C.INT, False),
+                    ]),
+                    primary_key=("resource_id", "job_id"),
+                )
+            )
+        if not self.schema.has_table("fact_job"):
+            return 0
+        agg = self.schema.table(agg_name)
+        seen = self.schema.table(seen_name)
+
+        #: (period_start, *dims) -> measure deltas for this pass
+        deltas: dict[tuple, dict[str, float]] = {}
+
+        def bucket(key: tuple) -> dict[str, float]:
+            entry = deltas.get(key)
+            if entry is None:
+                entry = {
+                    "n_jobs_ended": 0, "n_jobs_started": 0, "cpu_hours": 0.0,
+                    "node_hours": 0.0, "xdsu": 0.0, "wall_hours": 0.0,
+                    "wait_hours": 0.0,
+                }
+                deltas[key] = entry
+            return entry
+
+        processed = 0
+        for job in self.schema.table("fact_job").rows():
+            key = (job["resource_id"], job["job_id"])
+            if seen.get(key) is not None:
+                continue
+            seen.insert({"resource_id": key[0], "job_id": key[1]})
+            processed += 1
+            wl_level = cfg.walltime_levels.level_of(job["walltime_s"])
+            sz_level = cfg.jobsize_levels.level_of(job["cores"])
+            dims = (
+                job["resource_id"], job["person_id"], job["pi_id"],
+                job["app_id"], job["queue_id"], wl_level, sz_level,
+            )
+            bucket((period_start(period, job["end_ts"]), *dims))["n_jobs_ended"] += 1
+            b = bucket((period_start(period, job["start_ts"]), *dims))
+            b["n_jobs_started"] += 1
+            b["wait_hours"] += job["wait_s"] / SECONDS_PER_HOUR
+            if job["walltime_s"] > 0:
+                total = job["walltime_s"]
+                for p_start, p_end in period_range(
+                    period, job["start_ts"], job["end_ts"]
+                ):
+                    ov = overlap_seconds(
+                        job["start_ts"], job["end_ts"], p_start, p_end
+                    )
+                    if ov <= 0:
+                        continue
+                    frac = ov / total
+                    b = bucket((p_start, *dims))
+                    b["cpu_hours"] += job["cpu_hours"] * frac
+                    b["node_hours"] += job["node_hours"] * frac
+                    b["xdsu"] += job["xdsu"] * frac
+                    b["wall_hours"] += total * frac / SECONDS_PER_HOUR
+
+        for key in sorted(deltas):
+            p_start, rid, pid, piid, aid, qid, wl_level, sz_level = key
+            delta = deltas[key]
+            pk = (p_start, rid, pid, piid, aid, qid, wl_level, sz_level)
+            existing = agg.get(pk)
+            if existing is None:
+                existing = {
+                    "period_start": p_start,
+                    "period_label": period_label(period, p_start),
+                    "resource_id": rid, "person_id": pid, "pi_id": piid,
+                    "app_id": aid, "queue_id": qid,
+                    "walltime_level": wl_level, "jobsize_level": sz_level,
+                    "n_jobs_ended": 0, "n_jobs_started": 0,
+                    "cpu_hours": 0.0, "node_hours": 0.0, "xdsu": 0.0,
+                    "wall_hours": 0.0, "wait_hours": 0.0,
+                }
+            for measure, value in delta.items():
+                existing[measure] = existing[measure] + value
+            existing["n_jobs_ended"] = int(existing["n_jobs_ended"])
+            existing["n_jobs_started"] = int(existing["n_jobs_started"])
+            agg.upsert(existing)
+        return processed
+
+    # -- storage realm ------------------------------------------------------
+
+    def aggregate_storage(self, period: str) -> int:
+        _replace_table(self.schema, agg_storage_schema(period))
+        if not self.schema.has_table("fact_storage"):
+            return 0
+        agg = self.schema.table(f"agg_storage_{period}")
+        # First collapse per-timestamp totals across users, then average the
+        # per-timestamp totals within each period (gauge semantics).
+        per_ts: dict[tuple, dict[str, float]] = {}
+        users: dict[tuple, set[int]] = {}
+        meta: dict[tuple[int, str], str] = {}
+        for snap in self.schema.table("fact_storage").rows():
+            tkey = (snap["ts"], snap["resource_id"], snap["filesystem"])
+            entry = per_ts.setdefault(
+                tkey,
+                {"file_count": 0.0, "logical_gb": 0.0, "physical_gb": 0.0,
+                 "quota_util": 0.0, "quota_n": 0.0,
+                 "soft_quota_gb": 0.0, "hard_quota_gb": 0.0},
+            )
+            entry["file_count"] += snap["file_count"]
+            entry["logical_gb"] += snap["logical_usage_gb"]
+            entry["physical_gb"] += snap["physical_usage_gb"]
+            entry["soft_quota_gb"] += snap["soft_quota_gb"] or 0.0
+            entry["hard_quota_gb"] += snap["hard_quota_gb"] or 0.0
+            if snap["soft_quota_gb"]:
+                entry["quota_util"] += snap["logical_usage_gb"] / snap["soft_quota_gb"]
+                entry["quota_n"] += 1
+            pkey = (
+                period_start(period, snap["ts"]),
+                snap["resource_id"], snap["filesystem"],
+            )
+            users.setdefault(pkey, set()).add(snap["person_id"])
+            meta[(snap["resource_id"], snap["filesystem"])] = snap["resource_type"]
+
+        periods: dict[tuple, list[dict[str, float]]] = {}
+        for (ts_, rid, fs), entry in per_ts.items():
+            periods.setdefault(
+                (period_start(period, ts_), rid, fs), []
+            ).append(entry)
+        for key in sorted(periods):
+            p_start, rid, fs = key
+            samples = periods[key]
+            n = len(samples)
+            quota_n = sum(s["quota_n"] for s in samples)
+            agg.insert(
+                {
+                    "period_start": p_start,
+                    "period_label": period_label(period, p_start),
+                    "resource_id": rid,
+                    "filesystem": fs,
+                    "resource_type": meta[(rid, fs)],
+                    "avg_file_count": sum(s["file_count"] for s in samples) / n,
+                    "avg_logical_gb": sum(s["logical_gb"] for s in samples) / n,
+                    "avg_physical_gb": sum(s["physical_gb"] for s in samples) / n,
+                    "sum_quota_utilization": sum(s["quota_util"] for s in samples),
+                    "n_quota_samples": int(quota_n),
+                    "avg_soft_quota_gb": sum(s["soft_quota_gb"] for s in samples) / n,
+                    "avg_hard_quota_gb": sum(s["hard_quota_gb"] for s in samples) / n,
+                    "user_count": len(users[key]),
+                    "n_snapshots": n,
+                }
+            )
+        return len(agg)
+
+    # -- cloud realm ---------------------------------------------------------
+
+    def aggregate_cloud(self, period: str) -> int:
+        _replace_table(self.schema, agg_cloud_schema(period))
+        if not self.schema.has_table("fact_vm_interval"):
+            return 0
+        agg = self.schema.table(f"agg_cloud_{period}")
+        levels = self.config.vm_memory_levels
+        buckets: dict[tuple, dict[str, float]] = {}
+        active_vms: dict[tuple, set[int]] = {}
+
+        def bucket(key: tuple) -> dict[str, float]:
+            entry = buckets.get(key)
+            if entry is None:
+                entry = {
+                    "core_hours": 0.0, "wall_hours": 0.0, "total_cores": 0.0,
+                    "mem_gb_hours": 0.0, "disk_gb_hours": 0.0,
+                    "stopped_hours": 0.0, "paused_hours": 0.0,
+                    "n_state_changes": 0,
+                    "n_vms_started": 0, "n_vms_ended": 0,
+                }
+                buckets[key] = entry
+            return entry
+
+        for iv in self.schema.table("fact_vm_interval").rows():
+            mem_level = levels.level_of(iv["mem_gb"])
+            dims = (
+                iv["resource_id"], iv["project"], iv["os"],
+                iv["submission_venue"], mem_level,
+            )
+            for p_start, p_end in period_range(period, iv["start_ts"], iv["end_ts"]):
+                ov = overlap_seconds(iv["start_ts"], iv["end_ts"], p_start, p_end)
+                if ov <= 0:
+                    continue
+                b = bucket((p_start, *dims))
+                hours = ov / SECONDS_PER_HOUR
+                if iv["state"] == "running":
+                    b["core_hours"] += iv["vcpus"] * hours
+                    b["wall_hours"] += hours
+                    # reservations weighted by wall hours (Section III-B)
+                    b["mem_gb_hours"] += iv["mem_gb"] * hours
+                    b["disk_gb_hours"] += iv["disk_gb"] * hours
+                    active_vms.setdefault(
+                        (p_start, *dims), set()
+                    ).add(iv["vm_id"])
+                elif iv["state"] == "stopped":
+                    b["stopped_hours"] += hours
+                else:
+                    b["paused_hours"] += hours
+
+        if self.schema.has_table("fact_vm"):
+            for vm in self.schema.table("fact_vm").rows():
+                mem_level = levels.level_of(vm["last_mem_gb"])
+                dims = (
+                    vm["resource_id"], vm["project"], vm["os"],
+                    vm["submission_venue"], mem_level,
+                )
+                b = bucket((period_start(period, vm["provision_ts"]), *dims))
+                b["n_vms_started"] += 1
+                b["total_cores"] += vm["last_vcpus"]
+                b["n_state_changes"] += vm["n_state_changes"]
+                if vm["terminate_ts"] is not None:
+                    bucket(
+                        (period_start(period, vm["terminate_ts"]), *dims)
+                    )["n_vms_ended"] += 1
+
+        for key in sorted(buckets):
+            p_start, rid, project, os, venue, mem_level = key
+            measures = buckets[key]
+            agg.insert(
+                {
+                    "period_start": p_start,
+                    "period_label": period_label(period, p_start),
+                    "resource_id": rid,
+                    "project": project,
+                    "os": os,
+                    "submission_venue": venue,
+                    "memory_level": mem_level,
+                    "core_hours": measures["core_hours"],
+                    "wall_hours": measures["wall_hours"],
+                    "mem_gb_hours": measures["mem_gb_hours"],
+                    "disk_gb_hours": measures["disk_gb_hours"],
+                    "stopped_hours": measures["stopped_hours"],
+                    "paused_hours": measures["paused_hours"],
+                    "n_state_changes": int(measures["n_state_changes"]),
+                    "n_vms_active": len(active_vms.get(key, ())),
+                    "n_vms_started": int(measures["n_vms_started"]),
+                    "n_vms_ended": int(measures["n_vms_ended"]),
+                    "total_cores": measures["total_cores"],
+                }
+            )
+        return len(agg)
+
+    # -- orchestration ---------------------------------------------------------
+
+    def aggregate_all(self, periods: Sequence[str] | None = None) -> dict[str, int]:
+        """Run every realm's aggregation for every configured period."""
+        out: dict[str, int] = {}
+        for period in periods or self.config.periods:
+            out[f"agg_job_{period}"] = self.aggregate_jobs(period)
+            out[f"agg_storage_{period}"] = self.aggregate_storage(period)
+            out[f"agg_cloud_{period}"] = self.aggregate_cloud(period)
+        return out
+
+    def reaggregate(
+        self, config: AggregationConfig, periods: Sequence[str] | None = None
+    ) -> dict[str, int]:
+        """Change aggregation levels and rebuild — the Table I scenario.
+
+        "If ... aggregation levels must be redefined on the federation hub
+        to accommodate a new satellite instance, the administrator will
+        update the appropriate configuration file on the federation hub,
+        then re-aggregate all raw federation data."
+        """
+        self.config = config
+        return self.aggregate_all(periods)

@@ -1,0 +1,263 @@
+"""Configurable aggregation levels (the paper's Table I).
+
+"Data aggregation is a key data processing step in which XDMoD pre-bins raw
+dimension data, enabling the application to respond quickly to complex user
+queries... Aggregation levels, which are managed by JSON configuration
+files, apply only to numeric dimensions, such as job wall time, job size
+(core count), CPU User value, and peak memory usage."
+
+An :class:`AggregationLevelSet` is an ordered list of half-open numeric bins
+``[lo, hi)`` with labels.  Each XDMoD instance configures its own sets; the
+federation hub defines its own superset covering all satellites (Table I),
+and raw data replicated to the hub is re-binned under the hub's levels.
+
+The module ships the exact Table I configurations as constants, plus the
+Figure 7 VM-memory bins and a default job-size ladder.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..timeutil import SECONDS_PER_HOUR, SECONDS_PER_MINUTE
+
+
+class LevelConfigError(ValueError):
+    """An aggregation-level configuration is invalid."""
+
+
+@dataclass(frozen=True)
+class AggregationLevel:
+    """One bin: label + half-open numeric range ``[lo, hi)``."""
+
+    label: str
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise LevelConfigError("level label may not be empty")
+        if not (self.lo < self.hi):
+            raise LevelConfigError(
+                f"level {self.label!r}: lo {self.lo!r} must be < hi {self.hi!r}"
+            )
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value < self.hi
+
+
+@dataclass(frozen=True)
+class AggregationLevelSet:
+    """An ordered, non-overlapping set of bins for one numeric dimension.
+
+    ``field`` names the fact column the set bins (e.g. ``walltime_s``);
+    ``unit`` is documentation only.  Values below the first bin, above the
+    last, or in an interior gap map to :attr:`OUTSIDE`.
+    """
+
+    OUTSIDE = "outside"
+
+    name: str
+    field: str
+    unit: str
+    levels: tuple[AggregationLevel, ...]
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise LevelConfigError(f"level set {self.name!r} has no levels")
+        ordered = sorted(self.levels, key=lambda l: l.lo)
+        for a, b in zip(ordered, ordered[1:]):
+            if b.lo < a.hi:
+                raise LevelConfigError(
+                    f"level set {self.name!r}: {a.label!r} and {b.label!r} overlap"
+                )
+        labels = [l.label for l in self.levels]
+        if len(set(labels)) != len(labels):
+            raise LevelConfigError(f"level set {self.name!r}: duplicate labels")
+        object.__setattr__(self, "levels", tuple(ordered))
+
+    def level_of(self, value: float | None) -> str:
+        """Label of the bin containing ``value`` (binary search)."""
+        if value is None or (isinstance(value, float) and math.isnan(value)):
+            return self.OUTSIDE
+        lo, hi = 0, len(self.levels) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            level = self.levels[mid]
+            if value < level.lo:
+                hi = mid - 1
+            elif value >= level.hi:
+                lo = mid + 1
+            else:
+                return level.label
+        return self.OUTSIDE
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return tuple(l.label for l in self.levels)
+
+    def span(self) -> tuple[float, float]:
+        return self.levels[0].lo, self.levels[-1].hi
+
+    def covers(self, other: "AggregationLevelSet") -> bool:
+        """True when every bin of ``other`` falls inside this set's span.
+
+        The Table I requirement on a federation hub: its levels must
+        represent all the data of the component instances.
+        """
+        lo, hi = self.span()
+        olo, ohi = other.span()
+        return lo <= olo and ohi <= hi
+
+    # -- JSON config (the paper's management mechanism) ----------------------
+
+    def to_config(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "field": self.field,
+            "unit": self.unit,
+            "levels": [
+                {"label": l.label, "lo": l.lo, "hi": l.hi} for l in self.levels
+            ],
+        }
+
+    @classmethod
+    def from_config(cls, config: Mapping[str, Any]) -> "AggregationLevelSet":
+        try:
+            levels = tuple(
+                AggregationLevel(e["label"], float(e["lo"]), float(e["hi"]))
+                for e in config["levels"]
+            )
+            return cls(
+                name=config["name"],
+                field=config["field"],
+                unit=config.get("unit", ""),
+                levels=levels,
+            )
+        except (KeyError, TypeError) as exc:
+            raise LevelConfigError(f"bad level config: {exc}") from exc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_config(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AggregationLevelSet":
+        return cls.from_config(json.loads(text))
+
+
+def _wall(label: str, lo_s: float, hi_s: float) -> AggregationLevel:
+    return AggregationLevel(label, lo_s, hi_s)
+
+
+#: Table I, Instance A: resources with a 5-hour wall-time limit.
+TABLE1_INSTANCE_A = AggregationLevelSet(
+    name="walltime_instance_a",
+    field="walltime_s",
+    unit="seconds",
+    levels=(
+        _wall("1-60 seconds", 1, 60),
+        _wall("1-60 minutes", 60, 60 * SECONDS_PER_MINUTE),
+        _wall("1-5 hours", 1 * SECONDS_PER_HOUR, 5 * SECONDS_PER_HOUR),
+    ),
+)
+
+#: Table I, Instance B: resources with a 50-hour wall-time limit.
+TABLE1_INSTANCE_B = AggregationLevelSet(
+    name="walltime_instance_b",
+    field="walltime_s",
+    unit="seconds",
+    levels=(
+        _wall("1-10 hours", 1, 10 * SECONDS_PER_HOUR),
+        _wall("10-20 hours", 10 * SECONDS_PER_HOUR, 20 * SECONDS_PER_HOUR),
+        _wall("20-50 hours", 20 * SECONDS_PER_HOUR, 50 * SECONDS_PER_HOUR),
+    ),
+)
+
+#: Table I, federation hub: one set representing all member instances.
+TABLE1_FEDERATION_HUB = AggregationLevelSet(
+    name="walltime_federation_hub",
+    field="walltime_s",
+    unit="seconds",
+    levels=(
+        _wall("0-60 minutes", 0, 60 * SECONDS_PER_MINUTE),
+        _wall("1-5 hours", 1 * SECONDS_PER_HOUR, 5 * SECONDS_PER_HOUR),
+        _wall("5-10 hours", 5 * SECONDS_PER_HOUR, 10 * SECONDS_PER_HOUR),
+        _wall("10-20 hours", 10 * SECONDS_PER_HOUR, 20 * SECONDS_PER_HOUR),
+        _wall("20-50 hours", 20 * SECONDS_PER_HOUR, 50 * SECONDS_PER_HOUR),
+    ),
+)
+
+#: Default job wall-time ladder for instances without a custom config.
+DEFAULT_WALLTIME_LEVELS = AggregationLevelSet(
+    name="walltime_default",
+    field="walltime_s",
+    unit="seconds",
+    levels=(
+        _wall("0-30 minutes", 0, 30 * SECONDS_PER_MINUTE),
+        _wall("30-60 minutes", 30 * SECONDS_PER_MINUTE, 60 * SECONDS_PER_MINUTE),
+        _wall("1-5 hours", SECONDS_PER_HOUR, 5 * SECONDS_PER_HOUR),
+        _wall("5-18 hours", 5 * SECONDS_PER_HOUR, 18 * SECONDS_PER_HOUR),
+        _wall("18-48 hours", 18 * SECONDS_PER_HOUR, 48 * SECONDS_PER_HOUR),
+        _wall("48+ hours", 48 * SECONDS_PER_HOUR, 10_000 * SECONDS_PER_HOUR),
+    ),
+)
+
+#: Default job-size (core count) ladder.
+DEFAULT_JOBSIZE_LEVELS = AggregationLevelSet(
+    name="jobsize_default",
+    field="cores",
+    unit="cores",
+    levels=(
+        AggregationLevel("1", 1, 2),
+        AggregationLevel("2-4", 2, 5),
+        AggregationLevel("5-16", 5, 17),
+        AggregationLevel("17-64", 17, 65),
+        AggregationLevel("65-256", 65, 257),
+        AggregationLevel("257-1024", 257, 1025),
+        AggregationLevel("1025+", 1025, 10**9),
+    ),
+)
+
+#: Figure 7's VM memory-size bins: <1 GB, 1-2 GB, 2-4 GB, 4-8 GB.
+FIG7_VM_MEMORY_LEVELS = AggregationLevelSet(
+    name="vm_memory_fig7",
+    field="mem_gb",
+    unit="GB",
+    levels=(
+        AggregationLevel("<1 GB", 0.0001, 1.0),
+        AggregationLevel("1-2 GB", 1.0, 2.0),
+        AggregationLevel("2-4 GB", 2.0, 4.0),
+        AggregationLevel("4-8 GB", 4.0, 8.0001),
+    ),
+)
+
+
+def merge_level_sets(
+    name: str, sets: Iterable[AggregationLevelSet]
+) -> AggregationLevelSet:
+    """Derive a hub-side level set covering every satellite's bins.
+
+    This automates the administrator task Table I illustrates: the hub's
+    bins are the distinct boundary points of all member sets, merged into
+    contiguous non-overlapping ranges.
+    """
+    sets = list(sets)
+    if not sets:
+        raise LevelConfigError("cannot merge zero level sets")
+    field = sets[0].field
+    unit = sets[0].unit
+    for s in sets:
+        if s.field != field:
+            raise LevelConfigError(
+                f"cannot merge level sets for different fields "
+                f"({field!r} vs {s.field!r})"
+            )
+    points = sorted({p for s in sets for l in s.levels for p in (l.lo, l.hi)})
+    levels = tuple(
+        AggregationLevel(f"[{lo:g}, {hi:g})", lo, hi)
+        for lo, hi in zip(points, points[1:])
+    )
+    return AggregationLevelSet(name=name, field=field, unit=unit, levels=levels)

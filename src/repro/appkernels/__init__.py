@@ -1,0 +1,33 @@
+"""Optional Application Kernel (QoS) module."""
+
+from .kernels import (
+    DEFAULT_KERNELS,
+    AppKernelResult,
+    AppKernelRunner,
+    AppKernelSpec,
+    Degradation,
+    appkernel_table_schema,
+    ingest_appkernels,
+)
+from .qos import (
+    QosFlag,
+    QosIncident,
+    availability,
+    detect_flags,
+    merge_incidents,
+)
+
+__all__ = [
+    "AppKernelResult",
+    "AppKernelRunner",
+    "AppKernelSpec",
+    "DEFAULT_KERNELS",
+    "Degradation",
+    "QosFlag",
+    "QosIncident",
+    "appkernel_table_schema",
+    "availability",
+    "detect_flags",
+    "ingest_appkernels",
+    "merge_incidents",
+]

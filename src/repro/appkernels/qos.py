@@ -1,0 +1,146 @@
+"""Quality-of-service analysis over app-kernel histories.
+
+Control-chart detection in the style of the XDMoD app-kernel module's
+variance analysis: a rolling baseline (median + MAD, robust to the
+anomalies being hunted) per (resource, kernel, core count) series, with
+runs beyond ``k`` robust standard deviations flagged.  Consecutive flags
+merge into :class:`QosIncident` windows, which operations staff would
+triage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .kernels import AppKernelResult
+
+#: MAD -> sigma conversion for normally distributed noise.
+_MAD_SCALE = 1.4826
+
+
+@dataclass(frozen=True)
+class QosFlag:
+    """One out-of-control kernel execution."""
+
+    ts: int
+    resource: str
+    kernel: str
+    cores: int
+    runtime_s: float
+    baseline_s: float
+    sigma: float  # robust z-score
+
+
+@dataclass(frozen=True)
+class QosIncident:
+    """A maximal run of consecutive flags on one series."""
+
+    resource: str
+    kernel: str
+    cores: int
+    start_ts: int
+    end_ts: int
+    n_runs: int
+    worst_sigma: float
+
+
+def _series_key(r: AppKernelResult) -> tuple[str, str, int]:
+    return (r.resource, r.kernel, r.cores)
+
+
+def detect_flags(
+    results: Iterable[AppKernelResult],
+    *,
+    window: int = 20,
+    threshold_sigma: float = 4.0,
+    min_history: int = 8,
+) -> list[QosFlag]:
+    """Flag executions whose runtime departs from the rolling baseline.
+
+    The baseline for each run is the median of up to ``window`` previous
+    successful runs of the same series; scale is the MAD.  Failed runs are
+    skipped (they carry no runtime), matching the module's treatment of
+    crashed kernels as a separate availability signal.
+    """
+    by_series: dict[tuple[str, str, int], list[AppKernelResult]] = {}
+    for result in results:
+        if result.succeeded:
+            by_series.setdefault(_series_key(result), []).append(result)
+    flags: list[QosFlag] = []
+    for key, series in by_series.items():
+        series.sort(key=lambda r: r.ts)
+        runtimes = np.array([r.runtime_s for r in series])
+        for i, result in enumerate(series):
+            if i < min_history:
+                continue
+            history = runtimes[max(0, i - window): i]
+            baseline = float(np.median(history))
+            mad = float(np.median(np.abs(history - baseline)))
+            scale = mad * _MAD_SCALE
+            if scale <= 0:
+                scale = max(baseline * 0.01, 1e-9)
+            sigma = (result.runtime_s - baseline) / scale
+            if sigma >= threshold_sigma:
+                flags.append(
+                    QosFlag(
+                        ts=result.ts,
+                        resource=result.resource,
+                        kernel=result.kernel,
+                        cores=result.cores,
+                        runtime_s=result.runtime_s,
+                        baseline_s=baseline,
+                        sigma=float(sigma),
+                    )
+                )
+    flags.sort(key=lambda f: (f.resource, f.kernel, f.cores, f.ts))
+    return flags
+
+
+def merge_incidents(
+    flags: Sequence[QosFlag], *, gap_s: int
+) -> list[QosIncident]:
+    """Merge flags on the same series within ``gap_s`` into incidents."""
+    incidents: list[QosIncident] = []
+    current: list[QosFlag] = []
+
+    def close() -> None:
+        if not current:
+            return
+        incidents.append(
+            QosIncident(
+                resource=current[0].resource,
+                kernel=current[0].kernel,
+                cores=current[0].cores,
+                start_ts=current[0].ts,
+                end_ts=current[-1].ts,
+                n_runs=len(current),
+                worst_sigma=max(f.sigma for f in current),
+            )
+        )
+        current.clear()
+
+    for flag in flags:
+        if current and (
+            (flag.resource, flag.kernel, flag.cores)
+            != (current[0].resource, current[0].kernel, current[0].cores)
+            or flag.ts - current[-1].ts > gap_s
+        ):
+            close()
+        current.append(flag)
+    close()
+    return incidents
+
+
+def availability(results: Iterable[AppKernelResult]) -> dict[str, float]:
+    """Per-kernel success rate — the module's availability metric."""
+    totals: dict[str, list[int]] = {}
+    for result in results:
+        entry = totals.setdefault(result.kernel, [0, 0])
+        entry[0] += 1
+        entry[1] += int(result.succeeded)
+    return {
+        kernel: ok / total for kernel, (total, ok) in totals.items() if total
+    }

@@ -1,0 +1,66 @@
+"""Authentication: local passwords, mini-SAML SSO, roles and ACLs.
+
+Reproduces the paper's Figures 4-5 flows: users sign onto an SSO-enabled
+XDMoD instance with either their local XDMoD password or their SSO
+credentials; federations may centralize authentication at the hub
+(identity-provider mode) or leave it with satellites (service-provider
+mode).
+"""
+
+from .accounts import (
+    ROLE_CAPABILITIES,
+    Account,
+    AccountStore,
+    AuthError,
+    Role,
+    Session,
+    job_viewer_allowed,
+)
+from .local import (
+    PBKDF2_ITERATIONS,
+    LocalAuthenticator,
+    PasswordRecord,
+    hash_password,
+    verify_password,
+)
+from .saml import (
+    IdentityProvider,
+    SamlAssertion,
+    SamlError,
+    ServiceProvider,
+)
+from .sso import (
+    FederatedAuthConfig,
+    GlobusLinkage,
+    SsoKind,
+    SsoManager,
+    SsoProvider,
+    hub_as_identity_provider,
+    make_provider,
+)
+
+__all__ = [
+    "Account",
+    "AccountStore",
+    "AuthError",
+    "FederatedAuthConfig",
+    "GlobusLinkage",
+    "IdentityProvider",
+    "LocalAuthenticator",
+    "PBKDF2_ITERATIONS",
+    "PasswordRecord",
+    "ROLE_CAPABILITIES",
+    "Role",
+    "SamlAssertion",
+    "SamlError",
+    "ServiceProvider",
+    "Session",
+    "SsoKind",
+    "SsoManager",
+    "SsoProvider",
+    "hash_password",
+    "hub_as_identity_provider",
+    "job_viewer_allowed",
+    "make_provider",
+    "verify_password",
+]

@@ -1,0 +1,178 @@
+"""User accounts, roles, and ACLs.
+
+"Users must sign on to XDMoD to use most of its advanced features, to see
+their individual job-level performance data, and to access certain
+metrics."  Open XDMoD ships role-based ACLs; this module models the roles
+that matter for federation scenarios and the capability checks the UI layer
+enforces (e.g. only a user, their PI, or center staff may open a job in the
+Job Viewer).
+"""
+
+from __future__ import annotations
+
+import enum
+import secrets
+import time
+from dataclasses import dataclass, field
+
+class Role(enum.Enum):
+    """XDMoD ACL roles (Open XDMoD's acls.json equivalents)."""
+
+    PUBLIC = "pub"
+    USER = "usr"
+    PI = "pi"
+    CENTER_STAFF = "cs"
+    CENTER_DIRECTOR = "cd"
+    MANAGER = "mgr"
+
+
+#: Capabilities granted per role.  Higher roles include lower capabilities.
+ROLE_CAPABILITIES: dict[Role, frozenset[str]] = {
+    Role.PUBLIC: frozenset({"view_public_charts"}),
+    Role.USER: frozenset({"view_public_charts", "view_own_jobs", "export_own_data"}),
+    Role.PI: frozenset(
+        {"view_public_charts", "view_own_jobs", "export_own_data", "view_group_jobs"}
+    ),
+    Role.CENTER_STAFF: frozenset(
+        {
+            "view_public_charts", "view_own_jobs", "export_own_data",
+            "view_group_jobs", "view_all_jobs", "job_viewer_all",
+        }
+    ),
+    Role.CENTER_DIRECTOR: frozenset(
+        {
+            "view_public_charts", "view_own_jobs", "export_own_data",
+            "view_group_jobs", "view_all_jobs", "job_viewer_all",
+            "custom_reports",
+        }
+    ),
+    Role.MANAGER: frozenset(
+        {
+            "view_public_charts", "view_own_jobs", "export_own_data",
+            "view_group_jobs", "view_all_jobs", "job_viewer_all",
+            "custom_reports", "administer_instance",
+        }
+    ),
+}
+
+
+class AuthError(Exception):
+    """Authentication or authorization failure."""
+
+
+@dataclass
+class Account:
+    """One portal account on one XDMoD instance."""
+
+    username: str
+    full_name: str = ""
+    email: str = ""
+    roles: set[Role] = field(default_factory=lambda: {Role.USER})
+    pi: str = ""  # the account's PI group, for view_group_jobs scoping
+    #: attributes pre-populated from SSO metadata (Shibboleth etc.)
+    sso_attributes: dict[str, str] = field(default_factory=dict)
+
+    def capabilities(self) -> frozenset[str]:
+        caps: set[str] = set()
+        for role in self.roles:
+            caps |= ROLE_CAPABILITIES[role]
+        return frozenset(caps)
+
+    def can(self, capability: str) -> bool:
+        return capability in self.capabilities()
+
+
+@dataclass(frozen=True)
+class Session:
+    """An authenticated session on one instance.
+
+    ``method`` records how the user signed on ("local" or the SSO provider
+    kind) — per the paper, either path must yield the same capabilities for
+    the same account (tested as invariant 7).
+    """
+
+    token: str
+    username: str
+    instance: str
+    method: str
+    issued_at: float
+    expires_at: float
+    capabilities: frozenset[str]
+
+    @property
+    def expired(self) -> bool:
+        return time.time() >= self.expires_at
+
+    def require(self, capability: str) -> None:
+        if self.expired:
+            raise AuthError(f"session for {self.username!r} has expired")
+        if capability not in self.capabilities:
+            raise AuthError(
+                f"{self.username!r} lacks capability {capability!r}"
+            )
+
+
+class AccountStore:
+    """Account registry for one XDMoD instance."""
+
+    def __init__(self, instance: str) -> None:
+        self.instance = instance
+        self._accounts: dict[str, Account] = {}
+
+    def add(self, account: Account) -> Account:
+        if account.username in self._accounts:
+            raise AuthError(f"account {account.username!r} already exists")
+        self._accounts[account.username] = account
+        return account
+
+    def get(self, username: str) -> Account:
+        try:
+            return self._accounts[username]
+        except KeyError:
+            raise AuthError(f"no account {username!r}") from None
+
+    def has(self, username: str) -> bool:
+        return username in self._accounts
+
+    def usernames(self) -> list[str]:
+        return sorted(self._accounts)
+
+    def ensure(self, username: str, **kwargs) -> Account:
+        """Get-or-create, used by SSO first-login provisioning."""
+        if username in self._accounts:
+            return self._accounts[username]
+        return self.add(Account(username=username, **kwargs))
+
+    def open_session(
+        self, username: str, method: str, *, ttl_s: float = 8 * 3600.0
+    ) -> Session:
+        account = self.get(username)
+        now = time.time()
+        return Session(
+            token=secrets.token_hex(16),
+            username=username,
+            instance=self.instance,
+            method=method,
+            issued_at=now,
+            expires_at=now + ttl_s,
+            capabilities=account.capabilities(),
+        )
+
+
+def job_viewer_allowed(
+    session: Session, *, job_owner: str, job_pi: str, owner_pi: str = ""
+) -> bool:
+    """May this session open a given job in the Job Viewer?
+
+    Users see their own jobs; PIs see their group's; staff see all.
+    """
+    if session.expired:
+        return False
+    if "job_viewer_all" in session.capabilities:
+        return True
+    if "view_group_jobs" in session.capabilities and job_pi == session.username:
+        return True
+    return (
+        "view_own_jobs" in session.capabilities
+        and job_owner == session.username
+    )

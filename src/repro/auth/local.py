@@ -1,0 +1,64 @@
+"""Local password authentication.
+
+"Users retain the ability to authenticate directly on the XDMoD instance"
+(Figure 4, user group R).  Passwords are salted and stretched with
+PBKDF2-HMAC-SHA256 from the standard library; verification is constant-
+time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+from dataclasses import dataclass
+
+from .accounts import AccountStore, AuthError, Session
+
+PBKDF2_ITERATIONS = 60_000
+_SALT_BYTES = 16
+
+
+@dataclass(frozen=True)
+class PasswordRecord:
+    salt: bytes
+    digest: bytes
+    iterations: int
+
+
+def hash_password(password: str, *, iterations: int = PBKDF2_ITERATIONS) -> PasswordRecord:
+    salt = secrets.token_bytes(_SALT_BYTES)
+    digest = hashlib.pbkdf2_hmac(
+        "sha256", password.encode(), salt, iterations
+    )
+    return PasswordRecord(salt=salt, digest=digest, iterations=iterations)
+
+
+def verify_password(password: str, record: PasswordRecord) -> bool:
+    candidate = hashlib.pbkdf2_hmac(
+        "sha256", password.encode(), record.salt, record.iterations
+    )
+    return hmac.compare_digest(candidate, record.digest)
+
+
+class LocalAuthenticator:
+    """Password login against one instance's account store."""
+
+    def __init__(self, accounts: AccountStore) -> None:
+        self.accounts = accounts
+        self._passwords: dict[str, PasswordRecord] = {}
+
+    def set_password(self, username: str, password: str) -> None:
+        if not self.accounts.has(username):
+            raise AuthError(f"no account {username!r}")
+        if len(password) < 8:
+            raise AuthError("password must be at least 8 characters")
+        self._passwords[username] = hash_password(password)
+
+    def login(self, username: str, password: str) -> Session:
+        """Authenticate and open a session; failures are indistinguishable
+        (unknown user vs wrong password) to avoid user enumeration."""
+        record = self._passwords.get(username)
+        if record is None or not verify_password(password, record):
+            raise AuthError("invalid credentials")
+        return self.accounts.open_session(username, method="local")

@@ -1,0 +1,154 @@
+"""Miniature SAML: signed assertions between IdP and SP.
+
+"We have enabled web-browser Single-Sign On (SSO) for XDMoD by means of
+Security Assertion Markup Language (SAML), a common standard for
+exchanging user authentication and authorization data on the web."
+
+The real protocol's XML and x509 machinery is replaced by a JSON assertion
+signed with HMAC-SHA256 over a canonical serialization.  The security
+properties the paper's flows rely on are preserved: an assertion binds a
+subject and attribute set to an issuer and an audience with a validity
+window; any tampering (subject, attributes, audience, expiry) invalidates
+the signature; a service provider accepts assertions only from issuers it
+explicitly trusts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from .accounts import AuthError
+
+
+class SamlError(AuthError):
+    """Assertion validation failure."""
+
+
+def _canonical(payload: Mapping[str, Any]) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+@dataclass(frozen=True)
+class SamlAssertion:
+    """One signed authentication statement."""
+
+    subject: str
+    issuer: str
+    audience: str
+    attributes: Mapping[str, str]
+    issued_at: float
+    expires_at: float
+    signature: str = ""
+
+    def payload(self) -> dict[str, Any]:
+        return {
+            "subject": self.subject,
+            "issuer": self.issuer,
+            "audience": self.audience,
+            "attributes": dict(self.attributes),
+            "issued_at": self.issued_at,
+            "expires_at": self.expires_at,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        out = self.payload()
+        out["signature"] = self.signature
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SamlAssertion":
+        return cls(
+            subject=data["subject"],
+            issuer=data["issuer"],
+            audience=data["audience"],
+            attributes=dict(data.get("attributes", {})),
+            issued_at=float(data["issued_at"]),
+            expires_at=float(data["expires_at"]),
+            signature=data.get("signature", ""),
+        )
+
+
+class IdentityProvider:
+    """Issues signed assertions for its registered principals."""
+
+    def __init__(
+        self,
+        issuer: str,
+        *,
+        key: bytes | None = None,
+        assertion_ttl_s: float = 300.0,
+    ) -> None:
+        self.issuer = issuer
+        self.key = key if key is not None else hashlib.sha256(issuer.encode()).digest()
+        self.assertion_ttl_s = assertion_ttl_s
+        #: principal -> attribute statement released on authentication
+        self._principals: dict[str, dict[str, str]] = {}
+
+    def register(self, subject: str, attributes: Mapping[str, str] | None = None) -> None:
+        self._principals[subject] = dict(attributes or {})
+
+    def knows(self, subject: str) -> bool:
+        return subject in self._principals
+
+    def _sign(self, payload: Mapping[str, Any]) -> str:
+        return hmac.new(self.key, _canonical(payload), hashlib.sha256).hexdigest()
+
+    def issue(self, subject: str, audience: str, *, now: float | None = None) -> SamlAssertion:
+        """Authenticate ``subject`` and issue an assertion for ``audience``."""
+        if subject not in self._principals:
+            raise SamlError(f"IdP {self.issuer!r} has no principal {subject!r}")
+        now = time.time() if now is None else now
+        assertion = SamlAssertion(
+            subject=subject,
+            issuer=self.issuer,
+            audience=audience,
+            attributes=dict(self._principals[subject]),
+            issued_at=now,
+            expires_at=now + self.assertion_ttl_s,
+        )
+        return replace(assertion, signature=self._sign(assertion.payload()))
+
+
+class ServiceProvider:
+    """Validates assertions from explicitly trusted issuers."""
+
+    def __init__(self, audience: str) -> None:
+        self.audience = audience
+        self._trusted_keys: dict[str, bytes] = {}
+
+    def trust(self, idp: IdentityProvider) -> None:
+        self._trusted_keys[idp.issuer] = idp.key
+
+    def trust_key(self, issuer: str, key: bytes) -> None:
+        self._trusted_keys[issuer] = key
+
+    @property
+    def trusted_issuers(self) -> list[str]:
+        return sorted(self._trusted_keys)
+
+    def validate(
+        self, assertion: SamlAssertion, *, now: float | None = None
+    ) -> SamlAssertion:
+        """Full validation: issuer trust, signature, audience, window."""
+        key = self._trusted_keys.get(assertion.issuer)
+        if key is None:
+            raise SamlError(f"untrusted issuer {assertion.issuer!r}")
+        expected = hmac.new(
+            key, _canonical(assertion.payload()), hashlib.sha256
+        ).hexdigest()
+        if not hmac.compare_digest(expected, assertion.signature):
+            raise SamlError("assertion signature invalid")
+        if assertion.audience != self.audience:
+            raise SamlError(
+                f"assertion audience {assertion.audience!r} is not "
+                f"{self.audience!r}"
+            )
+        now = time.time() if now is None else now
+        if not (assertion.issued_at <= now < assertion.expires_at):
+            raise SamlError("assertion outside its validity window")
+        return assertion

@@ -1,0 +1,215 @@
+"""SSO provider personalities and per-instance sign-on management.
+
+Section II-D: XSEDE XDMoD uses Globus Auth (users must first link their
+Globus account to XSEDE credentials); Open XDMoD at CCR uses Shibboleth
+(whose attribute metadata pre-populates user fields); Keycloak and LDAP are
+also deployed in the field.  "Presently, an installation can specify only a
+single SSO authentication source"; multi-source configuration is the
+flexible future-work mode (II-D3), which we implement behind an explicit
+flag.  Users can always *also* sign on with their local XDMoD password
+(Figures 4 and 5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .accounts import Account, AccountStore, AuthError, Role, Session
+from .local import LocalAuthenticator
+from .saml import IdentityProvider, SamlAssertion, SamlError, ServiceProvider
+
+
+class SsoKind(enum.Enum):
+    """Identity-provider products the paper names."""
+
+    SHIBBOLETH = "shibboleth"
+    GLOBUS = "globus"
+    LDAP = "ldap"
+    KEYCLOAK = "keycloak"
+
+
+#: Shibboleth releases rich eduPerson attributes; others are sparser.
+_DEFAULT_ATTRIBUTES: dict[SsoKind, tuple[str, ...]] = {
+    SsoKind.SHIBBOLETH: (
+        "eduPersonPrincipalName", "givenName", "surname", "mail",
+        "departmentNumber", "organizationName",
+    ),
+    SsoKind.GLOBUS: ("identity_id", "mail"),
+    SsoKind.LDAP: ("uid", "cn", "mail"),
+    SsoKind.KEYCLOAK: ("preferred_username", "email"),
+}
+
+
+@dataclass
+class SsoProvider:
+    """One configured identity provider (an IdP plus its personality)."""
+
+    kind: SsoKind
+    idp: IdentityProvider
+
+    @property
+    def name(self) -> str:
+        return self.idp.issuer
+
+    def register_user(
+        self, subject: str, attributes: Mapping[str, str] | None = None
+    ) -> None:
+        attrs = dict(attributes or {})
+        for key in _DEFAULT_ATTRIBUTES[self.kind]:
+            attrs.setdefault(key, "")
+        self.idp.register(subject, attrs)
+
+
+class GlobusLinkage:
+    """Globus account linking (XSEDE's prerequisite for SSO).
+
+    "Before they can utilize SSO, XSEDE users must simply link their Globus
+    account with their XSEDE credentials."
+    """
+
+    def __init__(self) -> None:
+        self._links: dict[str, str] = {}  # globus identity -> portal username
+
+    def link(self, globus_identity: str, username: str) -> None:
+        self._links[globus_identity] = username
+
+    def resolve(self, globus_identity: str) -> str:
+        try:
+            return self._links[globus_identity]
+        except KeyError:
+            raise AuthError(
+                f"Globus identity {globus_identity!r} is not linked to a "
+                "portal account"
+            ) from None
+
+
+class SsoManager:
+    """Sign-on front door for one XDMoD instance.
+
+    Wraps the instance's account store, its local password authenticator,
+    and its configured SSO source(s).  ``allow_multiple_sources=False`` is
+    the paper's present-day constraint; pass True for the future-work
+    multi-IdP configuration (II-D3).
+    """
+
+    def __init__(
+        self,
+        instance: str,
+        *,
+        allow_multiple_sources: bool = False,
+        auto_provision: bool = True,
+    ) -> None:
+        self.instance = instance
+        self.accounts = AccountStore(instance)
+        self.local = LocalAuthenticator(self.accounts)
+        self.sp = ServiceProvider(audience=instance)
+        self.allow_multiple_sources = allow_multiple_sources
+        self.auto_provision = auto_provision
+        self._providers: dict[str, SsoProvider] = {}
+        self.globus_links = GlobusLinkage()
+
+    # -- configuration -----------------------------------------------------
+
+    def configure_sso(self, provider: SsoProvider) -> SsoProvider:
+        if self._providers and not self.allow_multiple_sources:
+            raise AuthError(
+                "an installation can specify only a single SSO source "
+                "(enable allow_multiple_sources for the multi-IdP mode)"
+            )
+        if provider.name in self._providers:
+            raise AuthError(f"SSO source {provider.name!r} already configured")
+        self._providers[provider.name] = provider
+        self.sp.trust(provider.idp)
+        return provider
+
+    @property
+    def sso_sources(self) -> list[str]:
+        return sorted(self._providers)
+
+    # -- sign-on paths -------------------------------------------------------
+
+    def login_local(self, username: str, password: str) -> Session:
+        """Figure 4, user group R: direct password sign-on."""
+        return self.local.login(username, password)
+
+    def login_sso(self, assertion: SamlAssertion) -> Session:
+        """Figure 4, user group S: sign-on with a SAML assertion.
+
+        Validates the assertion, maps the subject to a portal account
+        (through Globus linkage when the issuing provider is Globus),
+        auto-provisions first-time users, and pre-populates account
+        metadata from the released attributes (the Shibboleth nicety the
+        paper highlights).
+        """
+        self.sp.validate(assertion)
+        provider = self._providers.get(assertion.issuer)
+        if provider is None:  # trusted key but unregistered personality
+            raise SamlError(f"no SSO source named {assertion.issuer!r}")
+
+        if provider.kind is SsoKind.GLOBUS:
+            username = self.globus_links.resolve(assertion.subject)
+        else:
+            username = assertion.subject
+
+        if not self.accounts.has(username):
+            if not self.auto_provision:
+                raise AuthError(f"no account {username!r} and auto-provision off")
+            self.accounts.add(Account(username=username, roles={Role.USER}))
+        account = self.accounts.get(username)
+        # attribute pre-population (first wins; local edits are not clobbered)
+        for key, value in assertion.attributes.items():
+            account.sso_attributes.setdefault(key, value)
+        if not account.full_name:
+            given = assertion.attributes.get("givenName", "")
+            sur = assertion.attributes.get("surname", "")
+            if given or sur:
+                account.full_name = f"{given} {sur}".strip()
+        if not account.email:
+            account.email = assertion.attributes.get(
+                "mail", assertion.attributes.get("email", "")
+            )
+        return self.accounts.open_session(
+            username, method=provider.kind.value
+        )
+
+
+def make_provider(
+    kind: SsoKind, issuer: str, *, assertion_ttl_s: float = 300.0
+) -> SsoProvider:
+    """Construct an SSO provider of the given personality."""
+    return SsoProvider(
+        kind=kind,
+        idp=IdentityProvider(issuer, assertion_ttl_s=assertion_ttl_s),
+    )
+
+
+@dataclass
+class FederatedAuthConfig:
+    """Who authenticates users of a federation (Section II-D3).
+
+    ``mode="service_provider"``: each satellite validates its own users
+    (the hub merely trusts member sessions).  ``mode="identity_provider"``:
+    "the federation hub can do the job of authenticating users of the
+    federation's satellite instances" — the hub runs the IdP and satellites
+    trust it.
+    """
+
+    mode: str = "service_provider"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("service_provider", "identity_provider"):
+            raise AuthError(f"unknown federated auth mode {self.mode!r}")
+
+
+def hub_as_identity_provider(
+    hub_instance: str, satellites: list[SsoManager], *, kind: SsoKind = SsoKind.KEYCLOAK
+) -> SsoProvider:
+    """Wire the hub-as-IdP topology: one provider trusted by every satellite."""
+    provider = make_provider(kind, f"idp.{hub_instance}")
+    for satellite in satellites:
+        satellite.configure_sso(
+            SsoProvider(kind=kind, idp=provider.idp)
+        )
+    return provider

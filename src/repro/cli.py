@@ -1,0 +1,311 @@
+"""Command-line interface: the ``xdmod-*`` operational commands.
+
+Open XDMoD ships shell tools (``xdmod-shredder``, ``xdmod-ingestor``, …)
+that site administrators wire into cron.  ``xdmod-repro`` bundles the
+equivalents for this reproduction:
+
+- ``demo``      — end-to-end single-instance demo on synthetic data
+- ``shred``     — parse a sacct log file and report what it contains
+- ``simulate``  — generate a synthetic sacct log for a preset resource
+- ``federate``  — run the three-site Figure 1 federation and print the chart
+- ``validate``  — validate a storage-snapshot JSON file against the schema
+- ``report``    — generate a monthly utilization report (markdown)
+- ``serve``     — run the HTTP JSON API on a demo instance
+- ``snapshot``  — save/restore a demo instance database to a directory
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .core import XdmodInstance
+    from .etl import WAREHOUSE_SCHEMA
+    from .realms import jobs_realm
+    from .simulators import WorkloadGenerator, ccr_like_site, simulate_resource, to_sacct_log
+    from .timeutil import ts
+    from .ui import ChartBuilder, render_table
+
+    site = ccr_like_site(scale=args.scale)
+    start, end = ts(2017, 1, 1), ts(2017, 7, 1)
+    records = simulate_resource(
+        site.resource, WorkloadGenerator(site.workload).generate(start, end)
+    )
+    instance = XdmodInstance("demo")
+    instance.pipeline.ingest_sacct(
+        to_sacct_log(records), default_resource=site.name
+    )
+    instance.aggregate(["month"])
+    chart = ChartBuilder(jobs_realm(), instance.schema).timeseries(
+        "cpu_hours", start=start, end=end, group_by="queue",
+        title=f"CPU hours by queue on {site.name} ({len(records)} jobs)",
+    )
+    print(render_table(chart))
+    return 0
+
+
+def _cmd_shred(args: argparse.Namespace) -> int:
+    from .etl import parse_sacct_log
+
+    text = Path(args.logfile).read_text()
+    jobs = list(parse_sacct_log(text, strict=not args.lenient))
+    states: dict[str, int] = {}
+    cpu_hours = 0.0
+    for job in jobs:
+        states[job.state] = states.get(job.state, 0) + 1
+        cpu_hours += job.cores * job.walltime_s / 3600.0
+    print(f"parsed {len(jobs)} jobs, {cpu_hours:,.1f} CPU hours")
+    for state in sorted(states):
+        print(f"  {state}: {states[state]}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .simulators import WorkloadGenerator, ccr_like_site, simulate_resource, to_sacct_log
+    from .timeutil import ts
+
+    site = ccr_like_site(scale=args.scale, seed=args.seed)
+    start = ts(args.year, 1, 1)
+    end = ts(args.year + 1, 1, 1) if args.months >= 12 else ts(
+        args.year, args.months + 1, 1
+    )
+    records = simulate_resource(
+        site.resource, WorkloadGenerator(site.workload).generate(start, end)
+    )
+    log = to_sacct_log(records)
+    if args.output == "-":
+        sys.stdout.write(log)
+    else:
+        Path(args.output).write_text(log)
+        print(f"wrote {len(records)} jobs to {args.output}")
+    return 0
+
+
+def _cmd_federate(args: argparse.Namespace) -> int:
+    from .core import FederationHub, XdmodInstance, check_federation, standardize_federation
+    from .realms import jobs_realm
+    from .simulators import WorkloadGenerator, figure1_sites, simulate_resource, to_sacct_log
+    from .timeutil import ts
+    from .ui import ChartBuilder, render_table
+
+    sites = figure1_sites(scale=args.scale)
+    conversion, _ = standardize_federation(
+        {name: preset.resource for name, preset in sites.items()}
+    )
+    hub = FederationHub("hub", conversion=conversion)
+    start, end = ts(2017, 1, 1), ts(2018, 1, 1)
+    for name, preset in sites.items():
+        instance = XdmodInstance(f"site_{name}", conversion=conversion)
+        records = simulate_resource(
+            preset.resource, WorkloadGenerator(preset.workload).generate(start, end)
+        )
+        instance.pipeline.ingest_sacct(
+            to_sacct_log(records), default_resource=name
+        )
+        hub.join(instance, mode="tight")
+        print(f"federated {name}: {len(records)} jobs", file=sys.stderr)
+    hub.aggregate_federation(["month"])
+    check = check_federation(hub, strict=True)
+    print(f"consistency: {'OK' if check.ok else 'FAILED'}", file=sys.stderr)
+    if args.monitor:
+        from .core import FederationMonitor
+
+        print(FederationMonitor(hub).render(), file=sys.stderr)
+    chart = ChartBuilder(jobs_realm(), hub.federated_schemas()).timeseries(
+        "xdsu", start=start, end=end, group_by="resource", top_n=3,
+        title="Figure 1: top resources by XD SUs charged, 2017",
+    )
+    print(render_table(chart))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .etl import STORAGE_SNAPSHOT_SCHEMA, JsonSchemaError, validate
+
+    documents = json.loads(Path(args.jsonfile).read_text())
+    if isinstance(documents, dict):
+        documents = [documents]
+    errors = 0
+    for i, doc in enumerate(documents):
+        try:
+            validate(doc, STORAGE_SNAPSHOT_SCHEMA)
+        except JsonSchemaError as exc:
+            errors += 1
+            print(f"document {i}: {exc}")
+    print(f"{len(documents) - errors}/{len(documents)} documents valid")
+    return 1 if errors else 0
+
+
+def _demo_instance(scale: float, months: int = 6):
+    """Shared builder: a single-site instance with aggregated data."""
+    from .core import XdmodInstance
+    from .simulators import (
+        ConversionTable,
+        WorkloadGenerator,
+        ccr_like_site,
+        simulate_resource,
+        to_sacct_log,
+    )
+    from .timeutil import ts
+
+    site = ccr_like_site(scale=scale)
+    start = ts(2017, 1, 1)
+    end = ts(2017, months + 1, 1) if months < 12 else ts(2018, 1, 1)
+    records = simulate_resource(
+        site.resource, WorkloadGenerator(site.workload).generate(start, end)
+    )
+    conversion = ConversionTable.benchmark_resources({site.name: site.resource})
+    instance = XdmodInstance("demo", conversion=conversion)
+    instance.pipeline.ingest_sacct(
+        to_sacct_log(records), default_resource=site.name
+    )
+    instance.aggregate(["month"])
+    return instance, site, (start, end)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .realms import jobs_realm
+    from .ui import ChartBuilder, ChartSpec, ReportDefinition, ReportGenerator
+
+    instance, site, (start, end) = _demo_instance(args.scale)
+    definition = ReportDefinition(
+        name="monthly_utilization",
+        title=f"Monthly Utilization Report: {site.name}",
+        charts=(
+            ChartSpec("CPU hours by queue", "cpu_hours", group_by="queue"),
+            ChartSpec("Top applications by XD SUs", "xdsu",
+                      group_by="application", top_n=5),
+            ChartSpec("Jobs ended", "n_jobs_ended"),
+            ChartSpec("Average wait hours", "avg_wait_hours"),
+        ),
+    )
+    generator = ReportGenerator(
+        ChartBuilder(jobs_realm(), instance.schema),
+        instance_label=instance.name,
+    )
+    report = generator.generate(definition, start=start, end=end)
+    if args.output == "-":
+        sys.stdout.write(report.markdown)
+    else:
+        Path(args.output).write_text(report.markdown)
+        print(f"wrote report to {args.output}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .realms import cloud_realm, jobs_realm, storage_realm
+    from .ui import ApiServer, XdmodApi
+
+    instance, _, _ = _demo_instance(args.scale)
+    api = XdmodApi(
+        {"jobs": jobs_realm(), "storage": storage_realm(),
+         "cloud": cloud_realm()},
+        instance.schema,
+    )
+    server = ApiServer(api, host=args.host, port=args.port).start()
+    print(f"XDMoD API listening on {server.url} "
+          f"(try {server.url}/realms); Ctrl-C to stop")
+    if args.once:  # test hook: don't block
+        server.stop()
+        return 0
+    try:
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover
+        server.stop()
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from .warehouse import load_database, save_database, snapshot_info
+
+    if args.action == "save":
+        instance, _, _ = _demo_instance(args.scale)
+        save_database(instance.database, args.directory)
+        print(f"saved instance database to {args.directory}")
+        return 0
+    if args.action == "info":
+        info = snapshot_info(args.directory)
+        print(f"database: {info['database']}")
+        for entry in info["schemas"]:
+            print(f"  {entry['name']:<20} binlog head {entry['binlog_head']}")
+        return 0
+    database = load_database(args.directory)
+    total_rows = 0
+    for schema_name in database.schema_names():
+        schema = database.schema(schema_name)
+        rows = sum(len(schema.table(t)) for t in schema.table_names())
+        total_rows += rows
+        print(f"  {schema_name}: {len(schema.table_names())} tables, {rows} rows")
+    print(f"restored {database.name!r}: {total_rows} rows total")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xdmod-repro",
+        description="Federated XDMoD reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("demo", help="single-instance demo on synthetic data")
+    p.add_argument("--scale", type=float, default=0.25)
+    p.set_defaults(func=_cmd_demo)
+
+    p = sub.add_parser("shred", help="parse a sacct log file")
+    p.add_argument("logfile")
+    p.add_argument("--lenient", action="store_true")
+    p.set_defaults(func=_cmd_shred)
+
+    p = sub.add_parser("simulate", help="generate a synthetic sacct log")
+    p.add_argument("--output", "-o", default="-")
+    p.add_argument("--year", type=int, default=2017)
+    p.add_argument("--months", type=int, default=3)
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("federate", help="run the Figure 1 federation demo")
+    p.add_argument("--scale", type=float, default=0.2)
+    p.add_argument("--monitor", action="store_true",
+                   help="print the federation ops status panel")
+    p.set_defaults(func=_cmd_federate)
+
+    p = sub.add_parser("validate", help="validate storage snapshot JSON")
+    p.add_argument("jsonfile")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("report", help="generate a monthly utilization report")
+    p.add_argument("--output", "-o", default="-")
+    p.add_argument("--scale", type=float, default=0.15)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("serve", help="run the HTTP JSON API on a demo instance")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080)
+    p.add_argument("--scale", type=float, default=0.15)
+    p.add_argument("--once", action="store_true", help=argparse.SUPPRESS)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("snapshot", help="save/load an instance database")
+    p.add_argument("action", choices=["save", "load", "info"])
+    p.add_argument("directory")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.set_defaults(func=_cmd_snapshot)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""Instance configuration: the JSON files an XDMoD administrator edits.
+
+Open XDMoD is configured through JSON documents — resources, the
+institutional hierarchy, aggregation levels, SSO sources, and (new with
+this work) federation membership.  :class:`InstanceConfig` models that
+bundle with load/save round-tripping and validation, so examples and tests
+can express "edit the config file, then re-aggregate" exactly as the paper
+describes administrators doing.
+"""
+
+from .apply import (
+    aggregation_from_config,
+    build_instance,
+    conversion_from_config,
+    join_federation,
+)
+from .settings import (
+    ConfigError,
+    FederationSettings,
+    HierarchyLevel,
+    InstanceConfig,
+    ResourceSettings,
+    SsoSettings,
+    load_config,
+    save_config,
+)
+
+__all__ = [
+    "ConfigError",
+    "aggregation_from_config",
+    "build_instance",
+    "conversion_from_config",
+    "join_federation",
+    "FederationSettings",
+    "HierarchyLevel",
+    "InstanceConfig",
+    "ResourceSettings",
+    "SsoSettings",
+    "load_config",
+    "save_config",
+]

@@ -1,0 +1,91 @@
+"""Apply an :class:`InstanceConfig` — JSON bundle to running instance.
+
+Open XDMoD's ``xdmod-setup`` turns the administrator's configuration files
+into a working installation.  :func:`build_instance` is that step here: it
+constructs an :class:`~repro.core.XdmodInstance` whose aggregation levels,
+resource conversion factors, and name come from the config bundle; and
+:func:`join_federation` wires the instance into a hub according to the
+bundle's federation section (mode and excluded resources).
+"""
+
+from __future__ import annotations
+
+from ..aggregation import AggregationConfig
+from ..aggregation.levels import AggregationLevelSet
+from ..core import FederationHub, FederationMember, ReplicationFilter, XdmodInstance
+from ..simulators.hpl import ConversionTable
+from .settings import ConfigError, InstanceConfig
+
+
+def aggregation_from_config(config: InstanceConfig) -> AggregationConfig:
+    """Build the aggregation settings from the bundle's level sets.
+
+    Level sets are matched by their ``field``: ``walltime_s`` replaces the
+    wall-time ladder, ``cores`` the job-size ladder, ``mem_gb`` the VM
+    memory bins.  Unknown fields are a configuration error (they would be
+    silently ignored otherwise — the failure mode admins hate most).
+    """
+    kwargs: dict[str, AggregationLevelSet] = {}
+    field_to_kwarg = {
+        "walltime_s": "walltime_levels",
+        "cores": "jobsize_levels",
+        "mem_gb": "vm_memory_levels",
+    }
+    for level_set in config.aggregation_levels:
+        kwarg = field_to_kwarg.get(level_set.field)
+        if kwarg is None:
+            raise ConfigError(
+                f"aggregation level set {level_set.name!r} targets unknown "
+                f"field {level_set.field!r} "
+                f"(known: {sorted(field_to_kwarg)})"
+            )
+        if kwarg in kwargs:
+            raise ConfigError(
+                f"duplicate aggregation level configuration for field "
+                f"{level_set.field!r}"
+            )
+        kwargs[kwarg] = level_set
+    return AggregationConfig(**kwargs)
+
+
+def conversion_from_config(config: InstanceConfig) -> ConversionTable:
+    """Per-resource XD SU factors from the bundle's resources section."""
+    return ConversionTable(
+        {r.name: r.conversion_factor for r in config.resources}
+    )
+
+
+def build_instance(config: InstanceConfig) -> XdmodInstance:
+    """Construct a configured (empty) XDMoD instance from the bundle."""
+    return XdmodInstance(
+        config.instance_name,
+        aggregation=aggregation_from_config(config),
+        conversion=conversion_from_config(config),
+    )
+
+
+def join_federation(
+    hub: FederationHub,
+    instance: XdmodInstance,
+    config: InstanceConfig,
+) -> FederationMember:
+    """Join ``instance`` to ``hub`` per the bundle's federation section.
+
+    The section must name this hub; its mode and resource exclusions
+    become the channel configuration.
+    """
+    federation = config.federation
+    if not federation.hub:
+        raise ConfigError(
+            f"instance {config.instance_name!r} is not configured for "
+            "federation (federation.hub is empty)"
+        )
+    if federation.hub != hub.name:
+        raise ConfigError(
+            f"instance {config.instance_name!r} is configured for hub "
+            f"{federation.hub!r}, not {hub.name!r}"
+        )
+    filter = ReplicationFilter(
+        exclude_resources=federation.exclude_resources
+    )
+    return hub.join(instance, mode=federation.mode, filter=filter)

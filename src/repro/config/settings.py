@@ -1,0 +1,157 @@
+"""Configuration dataclasses and JSON round-tripping."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..aggregation.levels import AggregationLevelSet, LevelConfigError
+
+
+class ConfigError(ValueError):
+    """An instance configuration document is invalid."""
+
+
+@dataclass(frozen=True)
+class ResourceSettings:
+    """One entry of resources.json."""
+
+    name: str
+    resource_type: str = "hpc"  # hpc | cloud | storage
+    nodes: int = 0
+    cores_per_node: int = 0
+    conversion_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.resource_type not in ("hpc", "cloud", "storage"):
+            raise ConfigError(f"bad resource type {self.resource_type!r}")
+        if self.conversion_factor <= 0:
+            raise ConfigError("conversion factor must be positive")
+
+
+@dataclass(frozen=True)
+class HierarchyLevel:
+    """One level of the institutional hierarchy (hierarchy.json)."""
+
+    name: str
+    label: str
+
+
+@dataclass(frozen=True)
+class SsoSettings:
+    """SSO source configuration (sso.json)."""
+
+    kind: str = ""  # shibboleth | globus | ldap | keycloak | "" (disabled)
+    issuer: str = ""
+    #: future-work flag (Section II-D3): multiple sources allowed
+    allow_multiple: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind and self.kind not in (
+            "shibboleth", "globus", "ldap", "keycloak"
+        ):
+            raise ConfigError(f"unknown SSO kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class FederationSettings:
+    """Federation membership (federation.json, this paper's addition)."""
+
+    hub: str = ""  # hub instance name; "" when not federated
+    mode: str = "tight"  # tight | loose
+    exclude_resources: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("tight", "loose"):
+            raise ConfigError(f"unknown federation mode {self.mode!r}")
+
+
+@dataclass
+class InstanceConfig:
+    """The whole configuration bundle for one XDMoD instance."""
+
+    instance_name: str
+    organization: str = ""
+    resources: tuple[ResourceSettings, ...] = ()
+    hierarchy: tuple[HierarchyLevel, ...] = (
+        HierarchyLevel("decanal_unit", "Decanal Unit"),
+        HierarchyLevel("department", "Department"),
+        HierarchyLevel("pi", "PI Group"),
+    )
+    aggregation_levels: tuple[AggregationLevelSet, ...] = ()
+    sso: SsoSettings = field(default_factory=SsoSettings)
+    federation: FederationSettings = field(default_factory=FederationSettings)
+
+    def resource(self, name: str) -> ResourceSettings:
+        for r in self.resources:
+            if r.name == name:
+                return r
+        raise ConfigError(f"no resource {name!r} configured")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "instance_name": self.instance_name,
+            "organization": self.organization,
+            "resources": [asdict(r) for r in self.resources],
+            "hierarchy": [asdict(h) for h in self.hierarchy],
+            "aggregation_levels": [
+                s.to_config() for s in self.aggregation_levels
+            ],
+            "sso": asdict(self.sso),
+            "federation": {
+                "hub": self.federation.hub,
+                "mode": self.federation.mode,
+                "exclude_resources": list(self.federation.exclude_resources),
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "InstanceConfig":
+        try:
+            levels = tuple(
+                AggregationLevelSet.from_config(entry)
+                for entry in data.get("aggregation_levels", ())
+            )
+        except LevelConfigError as exc:
+            raise ConfigError(str(exc)) from exc
+        try:
+            fed = data.get("federation", {})
+            kwargs: dict[str, Any] = {}
+            if "hierarchy" in data:
+                kwargs["hierarchy"] = tuple(
+                    HierarchyLevel(**entry) for entry in data["hierarchy"]
+                )
+            return cls(
+                instance_name=data["instance_name"],
+                organization=data.get("organization", ""),
+                resources=tuple(
+                    ResourceSettings(**entry)
+                    for entry in data.get("resources", ())
+                ),
+                aggregation_levels=levels,
+                **kwargs,
+                sso=SsoSettings(**data.get("sso", {})),
+                federation=FederationSettings(
+                    hub=fed.get("hub", ""),
+                    mode=fed.get("mode", "tight"),
+                    exclude_resources=tuple(fed.get("exclude_resources", ())),
+                ),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ConfigError(f"bad instance config: {exc}") from exc
+
+
+def save_config(config: InstanceConfig, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(config.to_dict(), indent=2))
+    return path
+
+
+def load_config(path: str | Path) -> InstanceConfig:
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"cannot load {path}: {exc}") from exc
+    return InstanceConfig.from_dict(data)

@@ -1,0 +1,109 @@
+"""Federation: the paper's primary contribution.
+
+- :class:`XdmodInstance` / :class:`FederationHub` — instances and the
+  fan-in hub (Figures 2-3)
+- :class:`ReplicationChannel` / :class:`ReplicationFilter` — tight
+  federation (Tungsten-equivalent binlog shipping, Section II-C1)
+- :class:`LooseChannel` — loose federation via dump shipping (II-C2)
+- :class:`RoutingPolicy` / :class:`FederationNetwork` — per-resource hub
+  destinations, multi-hub backup (II-C4)
+- :mod:`~repro.core.standardize` — XD SU conversion across members (II-C6)
+- :class:`IdentityMap` — cross-instance user mapping (II-D4, future work)
+- :mod:`~repro.core.backup` — hub-as-backup regeneration (II-E4)
+- :mod:`~repro.core.consistency` — "hub never alters raw data" checks
+"""
+
+from .backup import (
+    RegenerationReport,
+    regenerate_satellite,
+    verify_regeneration,
+)
+from .consistency import (
+    FederationCheck,
+    MemberCheck,
+    TableCheck,
+    check_federation,
+    check_member,
+)
+from .errors import (
+    ConsistencyError,
+    FederationError,
+    IdentityError,
+    MembershipError,
+    ReplicationError,
+    VersionMismatchError,
+)
+from .federation import (
+    FED_SCHEMA_PREFIX,
+    XDMOD_VERSION,
+    FederationHub,
+    FederationMember,
+    XdmodInstance,
+)
+from .identity import (
+    IdentityMap,
+    federated_user_counts,
+    qualified_identity,
+)
+from .live import LiveReplicator, LiveStats
+from .loose import LooseChannel
+from .monitor import FederationMonitor, FederationStatus, MemberStatus
+from .replicator import (
+    RESOURCE_SCOPED_TABLES,
+    USER_PROFILE_TABLES,
+    ChannelStats,
+    ReplicationChannel,
+    ReplicationFilter,
+    supremm_summary_filter,
+)
+from .routing import FederationNetwork, RoutingPolicy, filter_for_hub
+from .standardize import (
+    StandardizationReport,
+    federation_resource_names,
+    standardization_report,
+    standardize_federation,
+)
+
+__all__ = [
+    "ChannelStats",
+    "ConsistencyError",
+    "FED_SCHEMA_PREFIX",
+    "FederationCheck",
+    "FederationError",
+    "FederationHub",
+    "FederationMember",
+    "FederationNetwork",
+    "IdentityError",
+    "IdentityMap",
+    "FederationMonitor",
+    "FederationStatus",
+    "LiveReplicator",
+    "LiveStats",
+    "LooseChannel",
+    "MemberStatus",
+    "MemberCheck",
+    "MembershipError",
+    "RESOURCE_SCOPED_TABLES",
+    "RegenerationReport",
+    "ReplicationChannel",
+    "ReplicationError",
+    "ReplicationFilter",
+    "RoutingPolicy",
+    "StandardizationReport",
+    "TableCheck",
+    "USER_PROFILE_TABLES",
+    "VersionMismatchError",
+    "XDMOD_VERSION",
+    "XdmodInstance",
+    "check_federation",
+    "check_member",
+    "federated_user_counts",
+    "federation_resource_names",
+    "filter_for_hub",
+    "qualified_identity",
+    "regenerate_satellite",
+    "standardization_report",
+    "standardize_federation",
+    "supremm_summary_filter",
+    "verify_regeneration",
+]

@@ -1,0 +1,115 @@
+"""Hub-as-backup: regenerating a satellite from the federation hub.
+
+Section II-E4: "The act of federation can also be regarded as a backup
+procedure.  Since the XDMoD federation hub does not summarize or reduce the
+data it acquires from the member instances, the hub itself could be used to
+regenerate the databases for the member instances."
+
+:func:`regenerate_satellite` rebuilds a satellite's warehouse schema from
+its replicated copy on the hub; :func:`verify_regeneration` confirms
+fidelity with table checksums.  Fidelity is exact when the member's channel
+used an unfiltered jobs-realm filter; with resource routing the regenerated
+satellite necessarily lacks the excluded rows, which the verifier reports
+rather than hides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..etl.pipeline import WAREHOUSE_SCHEMA
+from ..warehouse import Database, Schema, dump_schema, load_schema
+from .errors import ConsistencyError, MembershipError
+from .federation import FederationHub
+
+
+def regenerate_satellite(
+    hub: FederationHub,
+    member_name: str,
+    *,
+    target_database: Database | None = None,
+    schema_name: str = WAREHOUSE_SCHEMA,
+) -> Database:
+    """Rebuild a satellite database from its hub-side replicated schema.
+
+    Returns a database containing ``schema_name`` with the member's raw
+    replicated tables.  ``agg_*`` tables are not restored — the regenerated
+    instance re-runs its own aggregation, exactly as after any restore.
+    """
+    member = hub.member(member_name)
+    if not hub.database.has_schema(member.fed_schema):
+        raise MembershipError(
+            f"hub holds no replicated schema for {member_name!r}"
+        )
+    source = hub.database.schema(member.fed_schema)
+    dump = dump_schema(source)
+    dump["tables"] = [
+        entry
+        for entry in dump["tables"]
+        if not entry["schema"]["name"].startswith("agg_")
+    ]
+    dump.pop("checksum", None)  # subset of tables; recompute meaningless
+    database = target_database or Database(f"{member_name}_restored")
+    load_schema(
+        database,
+        dump,
+        rename_to=schema_name,
+        replace=True,
+        verify_checksum=False,
+    )
+    return database
+
+
+@dataclass(frozen=True)
+class RegenerationReport:
+    """Outcome of a backup-fidelity check."""
+
+    tables_checked: tuple[str, ...]
+    matching: tuple[str, ...]
+    mismatched: tuple[str, ...]
+    missing: tuple[str, ...]
+
+    @property
+    def exact(self) -> bool:
+        return not self.mismatched and not self.missing
+
+
+def verify_regeneration(
+    original: Schema,
+    regenerated: Schema,
+    *,
+    tables: tuple[str, ...] | None = None,
+    strict: bool = False,
+) -> RegenerationReport:
+    """Compare a regenerated schema against the original, per table.
+
+    ``tables`` defaults to the original's non-aggregate, non-bookkeeping
+    tables.  With ``strict=True`` any mismatch raises
+    :class:`ConsistencyError`.
+    """
+    if tables is None:
+        tables = tuple(
+            t
+            for t in original.table_names()
+            if not t.startswith("agg_") and t != "etl_markers"
+        )
+    matching: list[str] = []
+    mismatched: list[str] = []
+    missing: list[str] = []
+    for name in tables:
+        if not regenerated.has_table(name):
+            missing.append(name)
+            continue
+        if original.table(name).checksum() == regenerated.table(name).checksum():
+            matching.append(name)
+        else:
+            mismatched.append(name)
+    report = RegenerationReport(
+        tuple(tables), tuple(matching), tuple(mismatched), tuple(missing)
+    )
+    if strict and not report.exact:
+        raise ConsistencyError(
+            f"regeneration mismatch: mismatched={report.mismatched} "
+            f"missing={report.missing}"
+        )
+    return report

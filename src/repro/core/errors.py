@@ -1,0 +1,31 @@
+"""Federation-specific exceptions."""
+
+from __future__ import annotations
+
+
+class FederationError(Exception):
+    """Base class for federation failures."""
+
+
+class VersionMismatchError(FederationError):
+    """A satellite runs a different XDMoD version than the federation.
+
+    "The only requirement is that each individual XDMoD instance must run
+    the same version of XDMoD."
+    """
+
+
+class MembershipError(FederationError):
+    """Joining/leaving the federation failed (duplicate, unknown member)."""
+
+
+class ReplicationError(FederationError):
+    """A replication channel failed to apply events."""
+
+
+class ConsistencyError(FederationError):
+    """A hub/satellite consistency invariant was violated."""
+
+
+class IdentityError(FederationError):
+    """Identity-mapping configuration is invalid."""

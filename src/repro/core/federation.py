@@ -1,0 +1,259 @@
+"""Federation orchestration: XDMoD instances, satellites, and the hub.
+
+The federation model (Sections II-A, II-B): independent XDMoD instances,
+each ingesting and aggregating its own resources' data, replicate raw HPC
+Jobs realm data into uniquely-named schemas on a central federated hub in a
+fan-in topology.  The hub re-aggregates the raw data under its own
+aggregation levels and offers a unified view; satellites retain full local
+functionality and need no knowledge of one another.  The only membership
+requirement is that every instance runs the same XDMoD version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..aggregation import AggregationConfig, Aggregator
+from ..etl.pipeline import WAREHOUSE_SCHEMA, IngestPipeline
+from ..etl.star import PersonInfo
+from ..simulators.hpl import ConversionTable
+from ..warehouse import Database, Schema
+from .errors import MembershipError, VersionMismatchError
+from .loose import LooseChannel
+from .replicator import ReplicationChannel, ReplicationFilter
+
+#: The XDMoD release this codebase models (Open XDMoD contemporary with
+#: the paper; SSO shipped in 6.5, federation developed against 8.0).
+XDMOD_VERSION = "8.0.0"
+
+#: Hub-side schema naming convention: one renamed schema per instance.
+FED_SCHEMA_PREFIX = "fed_"
+
+
+class XdmodInstance:
+    """One Open XDMoD installation: warehouse + ETL + aggregation.
+
+    This is the unit of federation — satellites and hubs are both
+    instances.  ``name`` doubles as the instance's identity inside a
+    federation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        version: str = XDMOD_VERSION,
+        aggregation: AggregationConfig | None = None,
+        conversion: ConversionTable | None = None,
+        directory: Mapping[str, PersonInfo] | None = None,
+        science_fields: Mapping[str, str] | None = None,
+    ) -> None:
+        self.name = name
+        self.version = version
+        self.database = Database(name)
+        self.pipeline = IngestPipeline(
+            self.database,
+            conversion=conversion,
+            directory=directory,
+            science_fields=science_fields,
+        )
+        self.aggregator = Aggregator(self.schema, aggregation)
+
+    @property
+    def schema(self) -> Schema:
+        """The instance's primary warehouse schema (``modw``)."""
+        return self.database.schema(WAREHOUSE_SCHEMA)
+
+    @property
+    def aggregation(self) -> AggregationConfig:
+        return self.aggregator.config
+
+    def aggregate(self, periods: Sequence[str] | None = None) -> dict[str, int]:
+        """Run the nightly aggregation step locally."""
+        return self.aggregator.aggregate_all(periods)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"XdmodInstance({self.name!r}, version={self.version!r})"
+
+
+@dataclass
+class FederationMember:
+    """Hub-side registration of one satellite."""
+
+    instance: XdmodInstance
+    mode: str  # "tight" | "loose"
+    fed_schema: str
+    channel: ReplicationChannel | None = None
+    loose_channel: LooseChannel | None = None
+
+    @property
+    def name(self) -> str:
+        return self.instance.name
+
+
+class FederationHub(XdmodInstance):
+    """The central federated hub: an XDMoD instance that also accumulates
+    one replicated schema per satellite and aggregates them all under its
+    own aggregation levels."""
+
+    def __init__(
+        self,
+        name: str = "federation_hub",
+        *,
+        version: str = XDMOD_VERSION,
+        aggregation: AggregationConfig | None = None,
+        conversion: ConversionTable | None = None,
+    ) -> None:
+        super().__init__(
+            name, version=version, aggregation=aggregation, conversion=conversion
+        )
+        self._members: dict[str, FederationMember] = {}
+
+    # -- membership -----------------------------------------------------------
+
+    def join(
+        self,
+        satellite: XdmodInstance,
+        *,
+        mode: str = "tight",
+        filter: ReplicationFilter | None = None,
+        initial_sync: bool = True,
+    ) -> FederationMember:
+        """Add a satellite to the federation.
+
+        Enforces the version requirement, provisions the hub-side schema,
+        and (for tight mode) opens a replication channel from the
+        satellite's binlog position 0 so all historical data replicates.
+        """
+        if satellite.version != self.version:
+            raise VersionMismatchError(
+                f"satellite {satellite.name!r} runs XDMoD {satellite.version}, "
+                f"federation requires {self.version}"
+            )
+        if satellite.name in self._members:
+            raise MembershipError(f"{satellite.name!r} is already a member")
+        if satellite.name == self.name:
+            raise MembershipError("the hub cannot federate itself")
+        if mode not in ("tight", "loose"):
+            raise MembershipError(f"unknown federation mode {mode!r}")
+
+        fed_schema_name = FED_SCHEMA_PREFIX + satellite.name
+        member = FederationMember(
+            instance=satellite, mode=mode, fed_schema=fed_schema_name
+        )
+        if mode == "tight":
+            target = self.database.ensure_schema(fed_schema_name)
+            member.channel = ReplicationChannel(
+                satellite.schema, target, filter=filter
+            )
+            if initial_sync:
+                member.channel.catch_up()
+        else:
+            member.loose_channel = LooseChannel(
+                satellite.schema,
+                self.database,
+                fed_schema_name,
+                filter=filter,
+            )
+            if initial_sync:
+                member.loose_channel.ship()
+        self._members[satellite.name] = member
+        return member
+
+    def leave(self, name: str, *, drop_data: bool = False) -> None:
+        """Remove a member; optionally drop its replicated schema."""
+        member = self._members.pop(name, None)
+        if member is None:
+            raise MembershipError(f"{name!r} is not a member")
+        if drop_data and self.database.has_schema(member.fed_schema):
+            self.database.drop_schema(member.fed_schema)
+
+    def member(self, name: str) -> FederationMember:
+        try:
+            return self._members[name]
+        except KeyError:
+            raise MembershipError(f"{name!r} is not a member") from None
+
+    @property
+    def members(self) -> list[FederationMember]:
+        return [self._members[k] for k in sorted(self._members)]
+
+    # -- data movement ------------------------------------------------------------
+
+    def sync(self, *, batch: int | None = None) -> dict[str, int]:
+        """Pump every channel once; returns events/rows applied per member.
+
+        Tight members stream binlog events; loose members re-ship their
+        dump only when called through :meth:`ship_loose` (live sync leaves
+        them stale, as the real mechanism would).
+        """
+        out: dict[str, int] = {}
+        for member in self.members:
+            if member.channel is not None:
+                out[member.name] = (
+                    member.channel.catch_up()
+                    if batch is None
+                    else member.channel.pump(batch)
+                )
+            else:
+                out[member.name] = 0
+        return out
+
+    def ship_loose(self) -> dict[str, int]:
+        """Re-ship every loose member's dump; returns rows loaded."""
+        out: dict[str, int] = {}
+        for member in self.members:
+            if member.loose_channel is not None:
+                schema = member.loose_channel.ship()
+                out[member.name] = sum(
+                    len(schema.table(t)) for t in schema.table_names()
+                )
+        return out
+
+    def lag(self) -> dict[str, int]:
+        """Replication lag (tight: binlog events; loose: staleness)."""
+        out: dict[str, int] = {}
+        for member in self.members:
+            if member.channel is not None:
+                out[member.name] = member.channel.lag
+            elif member.loose_channel is not None:
+                out[member.name] = member.loose_channel.staleness
+        return out
+
+    # -- hub-side aggregation -----------------------------------------------------
+
+    def federated_schemas(self, *, include_local: bool = False) -> dict[str, Schema]:
+        """Instance name -> hub-side schema holding its replicated data."""
+        out: dict[str, Schema] = {}
+        if include_local and len(self.schema.table_names()) > 1:
+            out[self.name] = self.schema
+        for member in self.members:
+            if self.database.has_schema(member.fed_schema):
+                out[member.name] = self.database.schema(member.fed_schema)
+        return out
+
+    def aggregate_federation(
+        self, periods: Sequence[str] | None = None
+    ) -> dict[str, dict[str, int]]:
+        """Aggregate every replicated schema under the HUB's levels.
+
+        "All raw instance data are fully replicated to the master, then
+        aggregated there, according to the federation hub's aggregation
+        levels, so no data are lost or changed."
+        """
+        out: dict[str, dict[str, int]] = {}
+        for name, schema in self.federated_schemas().items():
+            aggregator = Aggregator(schema, self.aggregation)
+            out[name] = aggregator.aggregate_all(periods)
+        return out
+
+    def reaggregate_federation(
+        self,
+        aggregation: AggregationConfig,
+        periods: Sequence[str] | None = None,
+    ) -> dict[str, dict[str, int]]:
+        """Change the hub's levels and re-aggregate all raw federation data
+        (the Table I new-satellite scenario)."""
+        self.aggregator.config = aggregation
+        return self.aggregate_federation(periods)

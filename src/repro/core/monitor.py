@@ -1,0 +1,123 @@
+"""Federation operations monitoring.
+
+Operators of a federation need the hub's view of its own plumbing: which
+members are connected, how far behind each channel is, how much data each
+replicated schema holds, and whether the consistency invariants currently
+hold.  :class:`FederationMonitor` assembles that status snapshot and
+renders it as the text panel an ops dashboard (or a cron email) would show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from .consistency import check_federation
+from .federation import FederationHub
+
+
+@dataclass(frozen=True)
+class MemberStatus:
+    """One member's health snapshot."""
+
+    name: str
+    mode: str  # tight | loose
+    lag_events: int
+    fed_schema: str
+    tables: int
+    fact_job_rows: int
+    events_applied: int
+    events_filtered: int
+    consistent: bool
+
+
+@dataclass(frozen=True)
+class FederationStatus:
+    """Whole-federation health snapshot."""
+
+    hub: str
+    members: tuple[MemberStatus, ...]
+    totals: Mapping[str, float]
+    all_consistent: bool
+
+    @property
+    def max_lag(self) -> int:
+        return max((m.lag_events for m in self.members), default=0)
+
+    @property
+    def degraded_members(self) -> tuple[str, ...]:
+        return tuple(
+            m.name for m in self.members if not m.consistent or m.lag_events > 0
+        )
+
+
+class FederationMonitor:
+    """Status collection over one hub."""
+
+    def __init__(self, hub: FederationHub) -> None:
+        self.hub = hub
+
+    def status(self) -> FederationStatus:
+        lag = self.hub.lag()
+        check = check_federation(self.hub)
+        by_member = {m.member: m for m in check.members}
+        members = []
+        for member in self.hub.members:
+            schema = self.hub.database.schema(member.fed_schema)
+            stats = member.channel.stats if member.channel else None
+            member_check = by_member.get(member.name)
+            consistent = bool(
+                member_check and (member_check.ok or member_check.filtered)
+            )
+            members.append(
+                MemberStatus(
+                    name=member.name,
+                    mode=member.mode,
+                    lag_events=lag.get(member.name, 0),
+                    fed_schema=member.fed_schema,
+                    tables=len(schema.table_names()),
+                    fact_job_rows=(
+                        len(schema.table("fact_job"))
+                        if schema.has_table("fact_job") else 0
+                    ),
+                    events_applied=stats.events_applied if stats else 0,
+                    events_filtered=stats.events_filtered if stats else 0,
+                    consistent=consistent,
+                )
+            )
+        return FederationStatus(
+            hub=self.hub.name,
+            members=tuple(members),
+            totals=check.federation_totals(),
+            all_consistent=check.ok,
+        )
+
+    def render(self) -> str:
+        """Human status panel."""
+        status = self.status()
+        name_w = max([len("member")] + [len(m.name) for m in status.members]) + 2
+        lines = [
+            f"Federation hub: {status.hub}",
+            "=" * (17 + len(status.hub)),
+            f"{'member':<{name_w}}{'mode':<7}{'lag':>6}{'jobs':>9}"
+            f"{'applied':>9}{'filtered':>9}  state",
+        ]
+        for member in status.members:
+            state = "ok" if member.consistent and member.lag_events == 0 else (
+                "lagging" if member.consistent else "INCONSISTENT"
+            )
+            lines.append(
+                f"{member.name:<{name_w}}{member.mode:<7}{member.lag_events:>6}"
+                f"{member.fact_job_rows:>9}{member.events_applied:>9}"
+                f"{member.events_filtered:>9}  {state}"
+            )
+        totals = status.totals
+        lines.append(
+            f"federation totals: {totals.get('n_jobs', 0):,.0f} jobs, "
+            f"{totals.get('cpu_hours', 0):,.0f} CPU hours, "
+            f"{totals.get('xdsu', 0):,.0f} XD SUs"
+        )
+        lines.append(
+            "consistency: " + ("OK" if status.all_consistent else "VIOLATED")
+        )
+        return "\n".join(lines)

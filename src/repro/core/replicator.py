@@ -1,0 +1,207 @@
+"""Tight federation: the Tungsten-Replicator-equivalent binlog shipper.
+
+"The technology we chose for replicating XDMoD instance data into the
+federation master hub is Continuent's Tungsten Replicator... Tungsten reads
+binary logs on the XDMoD instance databases, copying their tables into new,
+uniquely named schemas (one schema per XDMoD instance) on the XDMoD
+federation hub's database.  Tungsten supports renaming the data schema
+during transfer, and selective replication of data from satellite
+instances, both of which we have opted to do for federation."
+
+:class:`ReplicationChannel` tails one satellite schema's binlog through a
+:class:`~repro.warehouse.binlog.BinlogCursor` and applies events to the
+hub's per-instance schema (``fed_<instance>`` by convention).  A
+:class:`ReplicationFilter` implements the selective part:
+
+- **table selection** — the initial federation release replicates only the
+  HPC Jobs realm; user-profile and heavy SUPReMM timeseries tables are
+  excluded (Sections II-C1, II-C5);
+- **resource routing** — rows belonging to excluded resources are dropped
+  before they ever reach the hub, "which could ensure that potentially
+  sensitive data does not ever get replicated" (Section II-C4).  The filter
+  learns the resource_id -> name mapping by watching ``dim_resource``
+  inserts stream past, so it needs no out-of-band catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..etl.perfingest import HEAVY_TABLES
+from ..etl.star import JOBS_REALM_TABLES
+from ..warehouse import BinlogCursor, BinlogEvent, EventType, Schema
+from .errors import ReplicationError
+
+#: Tables holding user-profile data, never replicated (Section II-C1:
+#: "user profile information [is] presently excluded").
+USER_PROFILE_TABLES = ("users", "user_profiles", "sessions", "acls")
+
+#: Fact tables whose rows carry a ``resource_id`` subject to routing.
+RESOURCE_SCOPED_TABLES = (
+    "fact_job", "fact_job_perf", "fact_storage", "fact_vm", "fact_vm_interval",
+)
+
+
+def supremm_summary_filter(**kwargs) -> "ReplicationFilter":
+    """The paper's planned next release (Section II-C5): replicate the
+    jobs realm *plus summarized* performance data (``fact_job_perf``),
+    still never the storage-intensive raw timeseries."""
+    return ReplicationFilter(
+        tables=tuple(JOBS_REALM_TABLES) + ("fact_job_perf",), **kwargs
+    )
+
+
+class ReplicationFilter:
+    """Stateful event filter for one replication channel.
+
+    Parameters
+    ----------
+    tables:
+        Whitelist of table names to replicate.  ``None`` means "all except
+        the standing exclusions" (user profiles, heavy timeseries, ETL
+        bookkeeping, and ``agg_*`` tables — the hub re-aggregates raw data
+        itself, so satellite aggregates are never shipped).
+    exclude_resources:
+        Resource *names* whose fact rows must not reach the hub.
+    include_resources:
+        If given, only these resource names' fact rows replicate (an
+        allowlist; combines with ``exclude_resources``).
+    """
+
+    def __init__(
+        self,
+        tables: Sequence[str] | None = tuple(JOBS_REALM_TABLES),
+        *,
+        exclude_resources: Iterable[str] = (),
+        include_resources: Iterable[str] | None = None,
+        drop_excluded_dim_rows: bool = True,
+    ) -> None:
+        self.tables = tuple(tables) if tables is not None else None
+        self.exclude_resources = set(exclude_resources)
+        self.include_resources = (
+            set(include_resources) if include_resources is not None else None
+        )
+        self.drop_excluded_dim_rows = drop_excluded_dim_rows
+        #: learned from dim_resource events flowing through the channel
+        self._resource_names: dict[int, str] = {}
+
+    # -- table-level selection -------------------------------------------------
+
+    def table_allowed(self, table: str) -> bool:
+        if table in USER_PROFILE_TABLES or table in HEAVY_TABLES:
+            return False
+        if table == "etl_markers" or table.startswith("agg_"):
+            return False
+        if self.tables is None:
+            return True
+        return table in self.tables
+
+    # -- row-level routing ------------------------------------------------------
+
+    def _resource_excluded(self, name: str) -> bool:
+        if name in self.exclude_resources:
+            return True
+        if self.include_resources is not None and name not in self.include_resources:
+            return True
+        return False
+
+    def _row_allowed(self, event: BinlogEvent) -> bool:
+        row = event.data.get("row") or {}
+        if event.table == "dim_resource":
+            rid = row.get("resource_id")
+            name = row.get("name")
+            if rid is not None and name is not None:
+                self._resource_names[rid] = name
+            if name is not None and self.drop_excluded_dim_rows:
+                return not self._resource_excluded(name)
+            return True
+        if event.table in RESOURCE_SCOPED_TABLES:
+            rid = row.get("resource_id")
+            if rid is None and event.etype is EventType.DELETE:
+                # key-only delete: key order matches the PK; resource_id is
+                # the first PK component on all resource-scoped tables
+                key = event.data.get("key")
+                if key:
+                    rid = key[0]
+            name = self._resource_names.get(rid)
+            if name is not None and self._resource_excluded(name):
+                return False
+        return True
+
+    def admit(self, event: BinlogEvent) -> bool:
+        """True when ``event`` should be applied to the hub."""
+        if not self.table_allowed(event.table):
+            return False
+        if event.etype in (
+            EventType.CREATE_TABLE, EventType.DROP_TABLE, EventType.TRUNCATE
+        ):
+            return True
+        return self._row_allowed(event)
+
+
+@dataclass
+class ChannelStats:
+    """Lifetime counters for one channel (exposed for monitoring)."""
+
+    events_seen: int = 0
+    events_applied: int = 0
+    events_filtered: int = 0
+    syncs: int = 0
+
+
+class ReplicationChannel:
+    """One satellite schema -> one hub schema, with resumable position."""
+
+    def __init__(
+        self,
+        source: Schema,
+        target: Schema,
+        *,
+        filter: ReplicationFilter | None = None,
+        start_lsn: int = 0,
+    ) -> None:
+        self.source = source
+        self.target = target
+        self.filter = filter or ReplicationFilter()
+        self.cursor = BinlogCursor(source.binlog, start_lsn)
+        self.stats = ChannelStats()
+
+    @property
+    def lag(self) -> int:
+        """Unreplicated events waiting in the source binlog."""
+        return self.cursor.lag
+
+    def pump(self, max_events: int | None = None) -> int:
+        """Apply pending events to the hub; returns events applied.
+
+        Event application is wrapped so a poison event surfaces as
+        :class:`ReplicationError` naming the LSN — the cursor is NOT
+        advanced past it (at-least-once delivery; appliers are idempotent).
+        """
+        events = self.cursor.poll(max_events)
+        applied = 0
+        for event in events:
+            self.stats.events_seen += 1
+            if self.filter.admit(event):
+                try:
+                    self.target.apply_event(event)
+                except Exception as exc:
+                    raise ReplicationError(
+                        f"channel {self.source.name!r}->{self.target.name!r}: "
+                        f"failed applying LSN {event.lsn}: {exc}"
+                    ) from exc
+                self.stats.events_applied += 1
+                applied += 1
+            else:
+                self.stats.events_filtered += 1
+            self.cursor.commit(event.lsn)
+        self.stats.syncs += 1
+        return applied
+
+    def catch_up(self, batch: int = 1000) -> int:
+        """Pump until no lag remains; returns total events applied."""
+        total = 0
+        while self.lag:
+            total += self.pump(batch)
+        return total

@@ -1,0 +1,128 @@
+"""Minimal JSON-Schema validator.
+
+Section III-A: storage data ingestion is filesystem-independent —
+"installations must only ensure their data validates against our provided
+JSON schema."  We implement the subset of JSON Schema draft-07 those
+documents need: ``type``, ``properties``, ``required``,
+``additionalProperties``, ``items``, ``enum``, ``minimum`` / ``maximum`` /
+``exclusiveMinimum`` / ``exclusiveMaximum``, ``minLength`` / ``maxLength``,
+and ``pattern``.
+
+No external dependency: the validator is ~150 lines and raises
+:class:`JsonSchemaError` with a JSON-pointer-ish path to the offending
+value.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Mapping
+
+
+class JsonSchemaError(ValueError):
+    """A document failed schema validation.
+
+    ``path`` locates the failing value ("/items/3/file_count" style).
+    """
+
+    def __init__(self, message: str, path: str = "") -> None:
+        super().__init__(f"{path or '/'}: {message}")
+        self.path = path
+
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def validate(document: Any, schema: Mapping[str, Any], *, path: str = "") -> None:
+    """Validate ``document`` against ``schema``; raises on first failure."""
+    stype = schema.get("type")
+    if stype is not None:
+        types = stype if isinstance(stype, list) else [stype]
+        if not any(_TYPE_CHECKS.get(t, lambda v: False)(document) for t in types):
+            raise JsonSchemaError(
+                f"expected type {stype!r}, got {type(document).__name__}", path
+            )
+
+    if "enum" in schema and document not in schema["enum"]:
+        raise JsonSchemaError(
+            f"value {document!r} not in enum {schema['enum']!r}", path
+        )
+
+    if isinstance(document, (int, float)) and not isinstance(document, bool):
+        if "minimum" in schema and document < schema["minimum"]:
+            raise JsonSchemaError(
+                f"{document!r} < minimum {schema['minimum']!r}", path
+            )
+        if "maximum" in schema and document > schema["maximum"]:
+            raise JsonSchemaError(
+                f"{document!r} > maximum {schema['maximum']!r}", path
+            )
+        if "exclusiveMinimum" in schema and document <= schema["exclusiveMinimum"]:
+            raise JsonSchemaError(
+                f"{document!r} <= exclusiveMinimum {schema['exclusiveMinimum']!r}",
+                path,
+            )
+        if "exclusiveMaximum" in schema and document >= schema["exclusiveMaximum"]:
+            raise JsonSchemaError(
+                f"{document!r} >= exclusiveMaximum {schema['exclusiveMaximum']!r}",
+                path,
+            )
+
+    if isinstance(document, str):
+        if "minLength" in schema and len(document) < schema["minLength"]:
+            raise JsonSchemaError(
+                f"length {len(document)} < minLength {schema['minLength']}", path
+            )
+        if "maxLength" in schema and len(document) > schema["maxLength"]:
+            raise JsonSchemaError(
+                f"length {len(document)} > maxLength {schema['maxLength']}", path
+            )
+        if "pattern" in schema and not re.search(schema["pattern"], document):
+            raise JsonSchemaError(
+                f"{document!r} does not match pattern {schema['pattern']!r}", path
+            )
+
+    if isinstance(document, dict):
+        props = schema.get("properties", {})
+        for name in schema.get("required", ()):
+            if name not in document:
+                raise JsonSchemaError(f"missing required property {name!r}", path)
+        additional = schema.get("additionalProperties", True)
+        for key, value in document.items():
+            if key in props:
+                validate(value, props[key], path=f"{path}/{key}")
+            elif additional is False:
+                raise JsonSchemaError(f"unexpected property {key!r}", path)
+            elif isinstance(additional, dict):
+                validate(value, additional, path=f"{path}/{key}")
+
+    if isinstance(document, list):
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, value in enumerate(document):
+                validate(value, items, path=f"{path}/{i}")
+        if "minItems" in schema and len(document) < schema["minItems"]:
+            raise JsonSchemaError(
+                f"{len(document)} items < minItems {schema['minItems']}", path
+            )
+        if "maxItems" in schema and len(document) > schema["maxItems"]:
+            raise JsonSchemaError(
+                f"{len(document)} items > maxItems {schema['maxItems']}", path
+            )
+
+
+def is_valid(document: Any, schema: Mapping[str, Any]) -> bool:
+    """Boolean form of :func:`validate`."""
+    try:
+        validate(document, schema)
+    except JsonSchemaError:
+        return False
+    return True

@@ -1,0 +1,267 @@
+"""Realm abstractions: metrics, dimensions, and the query engine.
+
+"The metrics collected by XDMoD are assembled into groups called realms,
+based on the type of information they measure."  A :class:`Realm` binds a
+set of :class:`Metric` definitions (computed from that realm's aggregate
+tables) and :class:`DimensionSpec` definitions (the group-by / drill-down
+axes).  The same realm object serves a single XDMoD instance (one schema)
+or a federation hub (one replicated schema per member): pass multiple
+sources and results combine correctly — ratios are combined from summed
+numerators/denominators, never averaged averages.
+
+Results come back as a :class:`RealmResult` supporting both of XDMoD's
+views: *timeseries* (one value per period per group) and *aggregate* (one
+value per group over the whole range).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from ..core.identity import IdentityMap, qualified_identity
+from ..warehouse import Schema
+
+
+class RealmQueryError(ValueError):
+    """A realm query referenced an unknown metric/dimension or bad range."""
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One chartable statistic.
+
+    ``numerator`` is the aggregate-table column summed over matching rows;
+    a ``denominator`` makes the metric a ratio (sums combined before the
+    division, so federation-wide ratios are exact).  ``scale`` converts
+    units for display (e.g. GB -> TB).
+    """
+
+    name: str
+    label: str
+    unit: str
+    numerator: str
+    denominator: str | None = None
+    scale: float = 1.0
+
+    def value(self, num: float, den: float) -> float | None:
+        if self.denominator is None:
+            return num * self.scale
+        if den == 0:
+            return None
+        return (num / den) * self.scale
+
+
+@dataclass(frozen=True)
+class DimensionSpec:
+    """One group-by / drill-down axis.
+
+    ``column`` is the aggregate-table column holding the raw group value;
+    ``dim_table`` + ``dim_key`` + ``dim_label`` resolve surrogate ids to
+    display labels within the *same* schema (star join).  Level dimensions
+    (wall-time bins, VM memory bins) carry their label directly.
+    ``qualify`` marks person-like dimensions whose labels must be
+    namespaced per instance on a federation hub (Section II-D4: without
+    identity mapping, the same human appears once per instance).
+    """
+
+    name: str
+    label: str
+    column: str
+    dim_table: str | None = None
+    dim_key: str | None = None
+    dim_label: str | None = None
+    qualify: bool = False
+
+
+@dataclass
+class ResultRow:
+    """One output cell."""
+
+    group: str
+    period_start: int | None
+    period_label: str | None
+    value: float | None
+
+
+@dataclass
+class RealmResult:
+    """Query output with chart-friendly accessors."""
+
+    metric: Metric
+    dimension: str | None
+    rows: list[ResultRow] = field(default_factory=list)
+
+    def series(self) -> dict[str, list[tuple[str, float | None]]]:
+        """group -> ordered [(period_label, value)] — timeseries view."""
+        out: dict[str, list[tuple[str, float | None]]] = {}
+        ordered = sorted(
+            self.rows, key=lambda r: (r.period_start or 0, r.group)
+        )
+        for row in ordered:
+            out.setdefault(row.group, []).append((row.period_label or "", row.value))
+        return out
+
+    def totals(self) -> dict[str, float]:
+        """group -> summed value (ratio metrics: value over whole range)."""
+        out: dict[str, float] = {}
+        for row in self.rows:
+            if row.value is not None:
+                out[row.group] = out.get(row.group, 0.0) + row.value
+        return out
+
+    def top(self, n: int) -> list[tuple[str, float]]:
+        """Top-n groups by total (how Figure 1 ranks resources)."""
+        return sorted(self.totals().items(), key=lambda kv: -kv[1])[:n]
+
+    def groups(self) -> list[str]:
+        return sorted({r.group for r in self.rows})
+
+
+class Realm:
+    """A named metric family over one aggregate-table prefix."""
+
+    #: overall group label when no dimension is requested
+    TOTAL = "total"
+
+    def __init__(
+        self,
+        name: str,
+        agg_prefix: str,
+        metrics: Sequence[Metric],
+        dimensions: Sequence[DimensionSpec],
+    ) -> None:
+        self.name = name
+        self.agg_prefix = agg_prefix
+        self.metrics: dict[str, Metric] = {m.name: m for m in metrics}
+        self.dimensions: dict[str, DimensionSpec] = {d.name: d for d in dimensions}
+
+    # -- catalog -----------------------------------------------------------
+
+    def metric(self, name: str) -> Metric:
+        try:
+            return self.metrics[name]
+        except KeyError:
+            raise RealmQueryError(
+                f"realm {self.name!r}: unknown metric {name!r} "
+                f"(have {sorted(self.metrics)})"
+            ) from None
+
+    def dimension(self, name: str) -> DimensionSpec:
+        try:
+            return self.dimensions[name]
+        except KeyError:
+            raise RealmQueryError(
+                f"realm {self.name!r}: unknown dimension {name!r} "
+                f"(have {sorted(self.dimensions)})"
+            ) from None
+
+    # -- label resolution ---------------------------------------------------
+
+    def _labeler(
+        self,
+        spec: DimensionSpec,
+        schema: Schema,
+        instance: str,
+        *,
+        many_sources: bool,
+        idmap: IdentityMap | None,
+    ) -> Callable[[Any], str]:
+        if spec.dim_table is None:
+            return lambda v: str(v)
+        table = schema.table(spec.dim_table)
+        mapping = {
+            row[spec.dim_key]: row[spec.dim_label] for row in table.rows()
+        }
+        if spec.qualify and many_sources:
+            if idmap is not None:
+                return lambda v: idmap.resolve(instance, mapping.get(v, str(v)))
+            return lambda v: qualified_identity(instance, mapping.get(v, str(v)))
+        return lambda v: str(mapping.get(v, v))
+
+    # -- the query ------------------------------------------------------------
+
+    def query(
+        self,
+        sources: Schema | Mapping[str, Schema],
+        metric: str,
+        *,
+        start: int,
+        end: int,
+        period: str = "month",
+        group_by: str | None = None,
+        filters: Mapping[str, Iterable[str]] | None = None,
+        view: str = "timeseries",
+        idmap: IdentityMap | None = None,
+    ) -> RealmResult:
+        """Aggregate-table query across one or many schemas.
+
+        ``filters`` maps dimension name -> allowed labels (XDMoD's filter
+        UI).  ``view`` is ``"timeseries"`` (per period) or ``"aggregate"``
+        (whole range).
+        """
+        if end <= start:
+            raise RealmQueryError(f"empty time range [{start}, {end})")
+        if view not in ("timeseries", "aggregate"):
+            raise RealmQueryError(f"unknown view {view!r}")
+        m = self.metric(metric)
+        gspec = self.dimension(group_by) if group_by else None
+        fspecs = {
+            name: (self.dimension(name), set(labels))
+            for name, labels in (filters or {}).items()
+        }
+        if isinstance(sources, Schema):
+            sources = {"local": sources}
+        many = len(sources) > 1
+        table_name = f"{self.agg_prefix}_{period}"
+
+        # (group, period) -> [num, den]
+        acc: dict[tuple[str, int, str], list[float]] = {}
+        for instance, schema in sources.items():
+            if not schema.has_table(table_name):
+                continue
+            glabel = (
+                self._labeler(
+                    gspec, schema, instance, many_sources=many, idmap=idmap
+                )
+                if gspec
+                else None
+            )
+            flabelers = {
+                name: self._labeler(
+                    spec, schema, instance, many_sources=many, idmap=idmap
+                )
+                for name, (spec, _) in fspecs.items()
+            }
+            for row in schema.table(table_name).rows():
+                if not (start <= row["period_start"] < end):
+                    continue
+                skip = False
+                for name, (spec, allowed) in fspecs.items():
+                    if flabelers[name](row[spec.column]) not in allowed:
+                        skip = True
+                        break
+                if skip:
+                    continue
+                group = glabel(row[gspec.column]) if gspec else self.TOTAL
+                if view == "timeseries":
+                    key = (group, row["period_start"], row["period_label"])
+                else:
+                    key = (group, 0, "")
+                entry = acc.setdefault(key, [0.0, 0.0])
+                entry[0] += row[m.numerator] or 0
+                if m.denominator is not None:
+                    entry[1] += row[m.denominator] or 0
+
+        result = RealmResult(metric=m, dimension=group_by)
+        for (group, p_start, p_label) in sorted(acc):
+            num, den = acc[(group, p_start, p_label)]
+            result.rows.append(
+                ResultRow(
+                    group=group,
+                    period_start=p_start if view == "timeseries" else None,
+                    period_label=p_label if view == "timeseries" else None,
+                    value=m.value(num, den),
+                )
+            )
+        return result

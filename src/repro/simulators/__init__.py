@@ -1,0 +1,105 @@
+"""Synthetic data substrates.
+
+The paper's evaluation uses production data (XSEDE accounting, CCR's
+OpenStack cloud, Isilon/GPFS storage, PCP hardware counters, HPL runs) that
+is unavailable here.  Each simulator produces the closest synthetic
+equivalent and feeds the *same* ETL code paths the real tool uses; see
+DESIGN.md's substitution table.
+"""
+
+from .cloudsim import (
+    DEFAULT_FLAVORS,
+    CloudConfig,
+    CloudSimulator,
+    Flavor,
+    vm_sessions,
+)
+from .cluster import (
+    ClusterSimulator,
+    JobRecord,
+    QueueSpec,
+    ResourceSpec,
+    sacct_header,
+    simulate_resource,
+    to_sacct_line,
+    to_sacct_log,
+)
+from .hpl import (
+    NUS_PER_XDSU,
+    PHASE1_DTF_GFLOPS_PER_CORE,
+    ConversionTable,
+    HplResult,
+    derive_conversion_factor,
+    nu_to_xdsu,
+    run_hpl,
+    xdsu_to_nu,
+)
+from .perf import (
+    PERF_METRICS,
+    JobPerformance,
+    generate_job_performance,
+    generate_performance_batch,
+    render_job_script,
+)
+from .sites import SitePreset, calibrate_jobs_per_day, ccr_like_site, figure1_sites
+from .storagesim import (
+    DEFAULT_FILESYSTEMS,
+    FilesystemSpec,
+    StorageConfig,
+    StorageSimulator,
+)
+from .workload import (
+    DEFAULT_APPLICATIONS,
+    DEFAULT_HIERARCHY,
+    ApplicationProfile,
+    JobRequest,
+    Pi,
+    UserAccount,
+    WorkloadConfig,
+    WorkloadGenerator,
+)
+
+__all__ = [
+    "ApplicationProfile",
+    "CloudConfig",
+    "CloudSimulator",
+    "ClusterSimulator",
+    "ConversionTable",
+    "DEFAULT_APPLICATIONS",
+    "DEFAULT_FILESYSTEMS",
+    "DEFAULT_FLAVORS",
+    "DEFAULT_HIERARCHY",
+    "Flavor",
+    "FilesystemSpec",
+    "HplResult",
+    "JobPerformance",
+    "JobRecord",
+    "JobRequest",
+    "NUS_PER_XDSU",
+    "PERF_METRICS",
+    "PHASE1_DTF_GFLOPS_PER_CORE",
+    "Pi",
+    "QueueSpec",
+    "ResourceSpec",
+    "SitePreset",
+    "StorageConfig",
+    "StorageSimulator",
+    "UserAccount",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "calibrate_jobs_per_day",
+    "ccr_like_site",
+    "derive_conversion_factor",
+    "figure1_sites",
+    "generate_job_performance",
+    "generate_performance_batch",
+    "nu_to_xdsu",
+    "render_job_script",
+    "run_hpl",
+    "sacct_header",
+    "simulate_resource",
+    "to_sacct_line",
+    "to_sacct_log",
+    "vm_sessions",
+    "xdsu_to_nu",
+]

@@ -1,0 +1,223 @@
+"""Cloud VM lifecycle simulator (OpenStack event-feed substitute).
+
+Section III-B of the paper develops the Cloud realm against CCR's OpenStack
+installation.  The defining difficulties it calls out — VM wall time is not
+job wall time; VMs can be stopped/started/paused/resumed; configuration
+(memory, cores) can change mid-life via resize — are all reproduced here.
+
+The simulator emits an event stream in submission order, one dict per event,
+shaped like a pared-down OpenStack notification::
+
+    {"event_id", "vm_id", "event_type", "ts", "instance_type",
+     "vcpus", "mem_gb", "disk_gb", "user", "project", "resource"}
+
+Event types: ``provision``, ``start``, ``stop``, ``pause``, ``unpause``,
+``resize``, ``terminate``.  A VM accumulates *wall hours* only while in the
+``running`` state; *reserved* capacity (cores/memory/disk) is held from
+provision to terminate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..timeutil import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+EVENT_TYPES = (
+    "provision", "start", "stop", "pause", "unpause", "resize", "terminate",
+)
+
+
+@dataclass(frozen=True)
+class Flavor:
+    """An instance type, OpenStack-style."""
+
+    name: str
+    vcpus: int
+    mem_gb: float
+    disk_gb: float
+
+
+#: Flavor ladder chosen so VM memory sizes fall across Figure 7's bins:
+#: <1 GB, 1-2 GB, 2-4 GB, and 4-8 GB.
+DEFAULT_FLAVORS: tuple[Flavor, ...] = (
+    Flavor("c1.tiny", 1, 0.5, 10.0),
+    Flavor("c1.small", 1, 1.0, 20.0),
+    Flavor("c2.small", 2, 2.0, 20.0),
+    Flavor("c2.medium", 2, 4.0, 40.0),
+    Flavor("c4.medium", 4, 4.0, 40.0),
+    Flavor("c4.large", 4, 8.0, 80.0),
+    Flavor("c8.large", 8, 8.0, 80.0),
+)
+
+#: Guest operating systems (the paper lists "Operating System" among the
+#: metrics considered for later Cloud realm releases).
+DEFAULT_OSES: tuple[str, ...] = ("centos7", "ubuntu16.04", "windows2016")
+
+#: How the VM was requested: the Cloud realm's Submission Venue dimension.
+SUBMISSION_VENUES: tuple[str, ...] = ("horizon", "api", "cli")
+
+
+@dataclass
+class CloudConfig:
+    """Knobs for one cloud resource's synthetic event stream."""
+
+    resource: str = "ccr_research_cloud"
+    seed: int = 7
+    n_users: int = 40
+    n_projects: int = 10
+    vms_per_day: float = 12.0
+    flavors: Sequence[Flavor] = DEFAULT_FLAVORS
+    #: mean VM lifetime (provision->terminate) in hours, lognormal
+    mean_lifetime_h: float = 72.0
+    #: probability a running VM gets stop/start cycles
+    stop_start_prob: float = 0.35
+    pause_prob: float = 0.15
+    resize_prob: float = 0.10
+    #: fraction of VM life actually spent running (users leave VMs up after
+    #: the "job" finishes — the paper's wall-time caveat)
+    running_fraction_mean: float = 0.7
+
+
+class CloudSimulator:
+    """Generates VM lifecycle events over a time window."""
+
+    def __init__(self, config: CloudConfig) -> None:
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self._next_vm = 1
+        self._next_event = 1
+        #: larger flavors are rarer, core-hours concentrate in big-memory
+        #: VMs (Figure 7's upward trend by memory bin)
+        weights = np.array([8.0, 6.0, 5.0, 3.0, 2.5, 1.5, 1.0])
+        self._flavor_p = weights[: len(config.flavors)]
+        self._flavor_p = self._flavor_p / self._flavor_p.sum()
+
+    def _emit(
+        self,
+        events: list[dict],
+        vm_id: int,
+        etype: str,
+        ts_: int,
+        flavor: Flavor,
+        user: str,
+        project: str,
+        os: str = "centos7",
+        venue: str = "api",
+    ) -> None:
+        events.append(
+            {
+                "event_id": self._next_event,
+                "vm_id": vm_id,
+                "event_type": etype,
+                "ts": int(ts_),
+                "instance_type": flavor.name,
+                "vcpus": flavor.vcpus,
+                "mem_gb": flavor.mem_gb,
+                "disk_gb": flavor.disk_gb,
+                "user": user,
+                "project": project,
+                "resource": self.config.resource,
+                "os": os,
+                "submission_venue": venue,
+            }
+        )
+        self._next_event += 1
+
+    def _vm_events(self, provision_ts: int, horizon: int) -> list[dict]:
+        """Full lifecycle for one VM provisioned at ``provision_ts``."""
+        cfg = self.config
+        rng = self._rng
+        flavor = cfg.flavors[int(rng.choice(len(cfg.flavors), p=self._flavor_p))]
+        user = f"clouduser{int(rng.integers(cfg.n_users)):03d}"
+        project = f"project{int(rng.integers(cfg.n_projects)):02d}"
+        os = DEFAULT_OSES[int(rng.choice(len(DEFAULT_OSES), p=[0.6, 0.3, 0.1]))]
+        venue = SUBMISSION_VENUES[int(rng.choice(len(SUBMISSION_VENUES), p=[0.5, 0.35, 0.15]))]
+        vm_id = self._next_vm
+        self._next_vm += 1
+
+        # larger flavors host longer-lived services (drives Figure 7's
+        # core-hours-per-VM growth across memory bins)
+        size_rank = list(cfg.flavors).index(flavor) / max(len(cfg.flavors) - 1, 1)
+        lifetime_scale = cfg.mean_lifetime_h * (0.5 + 1.5 * size_rank)
+        lifetime_s = int(
+            min(
+                rng.lognormal(np.log(lifetime_scale * SECONDS_PER_HOUR), 1.0),
+                horizon - provision_ts,
+            )
+        )
+        lifetime_s = max(lifetime_s, 600)
+        terminate_ts = provision_ts + lifetime_s
+
+        events: list[dict] = []
+        self._emit(events, vm_id, "provision", provision_ts, flavor, user, project, os, venue)
+        t = provision_ts + int(rng.uniform(30, 300))  # boot delay
+        if t >= terminate_ts:
+            self._emit(events, vm_id, "terminate", terminate_ts, flavor, user, project, os, venue)
+            return events
+        self._emit(events, vm_id, "start", t, flavor, user, project, os, venue)
+
+        # Interleave stop/start, pause/unpause, resize until termination.
+        running = True
+        while t < terminate_ts:
+            remaining = terminate_ts - t
+            step = int(rng.exponential(cfg.running_fraction_mean * lifetime_s / 3))
+            step = max(step, 300)
+            t += step
+            if t >= terminate_ts:
+                break
+            u = rng.random()
+            if running and u < cfg.stop_start_prob / 2:
+                self._emit(events, vm_id, "stop", t, flavor, user, project, os, venue)
+                running = False
+            elif not running and u < 0.8:
+                self._emit(events, vm_id, "start", t, flavor, user, project, os, venue)
+                running = True
+            elif running and u < cfg.stop_start_prob / 2 + cfg.pause_prob / 2:
+                self._emit(events, vm_id, "pause", t, flavor, user, project, os, venue)
+                pause_len = int(rng.uniform(300, 4 * SECONDS_PER_HOUR))
+                t2 = min(t + pause_len, terminate_ts - 1)
+                if t2 > t:
+                    self._emit(events, vm_id, "unpause", t2, flavor, user, project, os, venue)
+                    t = t2
+            elif running and u < cfg.stop_start_prob / 2 + cfg.pause_prob / 2 + cfg.resize_prob:
+                # resize to an adjacent flavor; configuration mutates mid-life
+                idx = list(cfg.flavors).index(flavor)
+                new_idx = min(idx + 1, len(cfg.flavors) - 1) if rng.random() < 0.7 else max(idx - 1, 0)
+                flavor = cfg.flavors[new_idx]
+                self._emit(events, vm_id, "resize", t, flavor, user, project, os, venue)
+        self._emit(events, vm_id, "terminate", terminate_ts, flavor, user, project, os, venue)
+        return events
+
+    def generate(self, start_ts: int, end_ts: int) -> list[dict]:
+        """All VM events for VMs provisioned in ``[start, end)``.
+
+        Lifecycles are clamped to ``end_ts`` (every VM terminates inside the
+        window, so totals are conserved for the realm's invariants; real
+        feeds have open VMs, which the ETL also tolerates).
+        """
+        cfg = self.config
+        rng = self._rng
+        events: list[dict] = []
+        mean_gap = SECONDS_PER_DAY / cfg.vms_per_day
+        t = float(start_ts)
+        while True:
+            t += rng.exponential(mean_gap)
+            if t >= end_ts:
+                break
+            events.extend(self._vm_events(int(t), end_ts))
+        events.sort(key=lambda e: (e["ts"], e["event_id"]))
+        return events
+
+
+def vm_sessions(events: Sequence[dict]) -> dict[int, list[dict]]:
+    """Group an event stream by VM id, each list in time order."""
+    out: dict[int, list[dict]] = {}
+    for event in events:
+        out.setdefault(event["vm_id"], []).append(event)
+    for lst in out.values():
+        lst.sort(key=lambda e: (e["ts"], e["event_id"]))
+    return out

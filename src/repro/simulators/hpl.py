@@ -1,0 +1,132 @@
+"""Synthetic HPL benchmarking for XD SU conversion factors.
+
+Section II-C6: to make a federation of heterogeneous systems meaningful,
+"XSEDE has benchmarked disparate systems and then derived appropriate
+conversion factors, so that the resources consumed on different systems can
+be compared."  One XD SU is one CPU-hour on a Phase-1 DTF cluster, and a
+Phase-1 DTF SU equals 21.576 NUs.
+
+We do not have HPL runs on real machines, so :func:`run_hpl` synthesizes a
+measured per-core GFLOPS figure for a :class:`ResourceSpec` — nominal
+per-core GFLOPS times an efficiency factor with run-to-run noise (HPL never
+hits peak).  :func:`derive_conversion_factor` then turns a measurement into
+the CPU-hour -> XD SU factor relative to the Phase-1 DTF reference, and
+:class:`ConversionTable` holds the factors the federation's standardization
+layer applies (:mod:`repro.core.standardize`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from .cluster import ResourceSpec
+
+#: Measured per-core GFLOPS of the reference system (Phase-1 DTF cluster,
+#: early-2000s IA-64 hardware).  One CPU-hour there defines 1 XD SU.
+PHASE1_DTF_GFLOPS_PER_CORE = 3.0
+
+#: NUs per Phase-1 DTF SU, from the paper's footnote.
+NUS_PER_XDSU = 21.576
+
+
+@dataclass(frozen=True)
+class HplResult:
+    """One synthetic HPL measurement for a resource."""
+
+    resource: str
+    cores: int
+    nominal_gflops_per_core: float
+    measured_gflops_per_core: float
+    efficiency: float
+    rmax_tflops: float
+
+
+def run_hpl(
+    resource: ResourceSpec,
+    *,
+    seed: int | None = None,
+    base_efficiency: float = 0.82,
+) -> HplResult:
+    """Simulate an HPL run on ``resource``.
+
+    Efficiency (Rmax/Rpeak) is drawn near ``base_efficiency`` with small
+    noise; larger systems lose a little more to interconnect overheads.
+    """
+    rng = np.random.default_rng(
+        seed if seed is not None else hash(resource.name) % (2**32)
+    )
+    size_penalty = 0.02 * np.log10(max(resource.total_cores, 10) / 10.0)
+    efficiency = float(
+        np.clip(base_efficiency - size_penalty + rng.normal(0.0, 0.015), 0.5, 0.95)
+    )
+    measured = resource.gflops_per_core * efficiency
+    return HplResult(
+        resource=resource.name,
+        cores=resource.total_cores,
+        nominal_gflops_per_core=resource.gflops_per_core,
+        measured_gflops_per_core=measured,
+        efficiency=efficiency,
+        rmax_tflops=measured * resource.total_cores / 1000.0,
+    )
+
+
+def derive_conversion_factor(result: HplResult) -> float:
+    """XD SUs charged per CPU-hour on the measured resource.
+
+    A core that benchmarks N times faster than a Phase-1 DTF core delivers
+    N reference-CPU-hours of computation per hour, so its CPU-hour charges
+    N XD SUs.
+    """
+    return result.measured_gflops_per_core / PHASE1_DTF_GFLOPS_PER_CORE
+
+
+def xdsu_to_nu(xdsu: float) -> float:
+    """Convert XD SUs to NUs (roaming-allocation units)."""
+    return xdsu * NUS_PER_XDSU
+
+
+def nu_to_xdsu(nu: float) -> float:
+    """Convert NUs to XD SUs."""
+    return nu / NUS_PER_XDSU
+
+
+@dataclass
+class ConversionTable:
+    """Per-resource CPU-hour -> XD SU conversion factors.
+
+    Resources without a benchmark default to factor 1.0 (raw CPU hours) —
+    the paper's warning that *unstandardized* federations compare unlike
+    quantities is surfaced by :meth:`is_standardized`.
+    """
+
+    factors: dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_benchmarks(cls, results: Mapping[str, HplResult]) -> "ConversionTable":
+        return cls(
+            {name: derive_conversion_factor(res) for name, res in results.items()}
+        )
+
+    @classmethod
+    def benchmark_resources(
+        cls, resources: Mapping[str, ResourceSpec], *, seed: int = 0
+    ) -> "ConversionTable":
+        """Run synthetic HPL on every resource and build the table."""
+        results = {
+            name: run_hpl(spec, seed=seed + i)
+            for i, (name, spec) in enumerate(sorted(resources.items()))
+        }
+        return cls.from_benchmarks(results)
+
+    def factor(self, resource: str) -> float:
+        return self.factors.get(resource, 1.0)
+
+    def is_standardized(self, resource: str) -> bool:
+        return resource in self.factors
+
+    def to_xdsu(self, resource: str, cpu_hours: float) -> float:
+        """Charge for ``cpu_hours`` on ``resource``, in XD SUs."""
+        return cpu_hours * self.factor(resource)

@@ -1,0 +1,134 @@
+"""Preset site configurations matched to the paper's figures.
+
+Figure 1 plots 2017 XD SU charges for the top three XSEDE resources:
+Comet (largest), Stampede2 (ramping up through 2017), and Stampede
+(decommissioned during 2017).  These presets reproduce that *shape* at
+laptop scale: three resources with distinct sizes, per-core speeds (hence
+distinct HPL conversion factors), and monthly activity envelopes.
+
+:func:`calibrate_jobs_per_day` sizes a workload to a target utilization so
+the cluster simulator runs in a sane operating regime (oversubscribing a
+tiny core inventory with production-scale arrival rates yields month-long
+queues and meaningless wait-time metrics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+from ..timeutil import SECONDS_PER_DAY, SECONDS_PER_HOUR, ts
+from .cluster import ResourceSpec
+from .workload import WorkloadConfig, WorkloadGenerator
+
+
+def calibrate_jobs_per_day(
+    config: WorkloadConfig,
+    resource: ResourceSpec,
+    *,
+    target_utilization: float = 0.7,
+    sample_jobs: int = 300,
+    sample_days: int = 30,
+) -> WorkloadConfig:
+    """Return a copy of ``config`` with ``jobs_per_day`` set so expected
+    demand matches ``target_utilization`` of the resource's core inventory.
+
+    Calibration is empirical: generate a sample of requests with the given
+    config and measure mean CPU-seconds per request, then solve for the
+    arrival rate.  Deterministic given the config seed.
+    """
+    if not (0 < target_utilization <= 1.5):
+        raise ValueError(f"unreasonable target utilization {target_utilization}")
+    probe = replace(config, jobs_per_day=float(sample_jobs) / sample_days)
+    gen = WorkloadGenerator(probe)
+    start = ts(2000, 1, 1)
+    demand_core_s = 0.0
+    n = 0
+    for req in gen.generate(start, start + sample_days * SECONDS_PER_DAY):
+        cores = min(req.cores, resource.total_cores)
+        demand_core_s += cores * req.req_walltime_s * max(req.runtime_fraction, 0.0)
+        n += 1
+        if n >= sample_jobs:
+            break
+    if n == 0 or demand_core_s == 0:
+        return replace(config, jobs_per_day=1.0)
+    mean_core_s = demand_core_s / n
+    capacity_core_s_per_day = resource.total_cores * SECONDS_PER_DAY
+    jobs_per_day = target_utilization * capacity_core_s_per_day / mean_core_s
+    return replace(config, jobs_per_day=max(jobs_per_day, 0.5))
+
+
+@dataclass(frozen=True)
+class SitePreset:
+    """A resource plus a calibrated workload for it."""
+
+    name: str
+    resource: ResourceSpec
+    workload: WorkloadConfig
+
+
+#: Stampede rams down (decommissioned in 2017)...
+_STAMPEDE_ENVELOPE = (1.0, 1.0, 0.95, 0.85, 0.7, 0.5, 0.35, 0.2, 0.1, 0.05, 0.02, 0.01)
+#: ...while Stampede2 ramps up through the year.
+_STAMPEDE2_ENVELOPE = (0.02, 0.05, 0.1, 0.25, 0.45, 0.65, 0.8, 0.9, 1.0, 1.0, 1.0, 1.0)
+_FLAT_ENVELOPE = tuple([1.0] * 12)
+
+
+def figure1_sites(*, scale: float = 1.0, utilization: float = 0.75) -> dict[str, SitePreset]:
+    """The three Figure-1 resources at laptop scale.
+
+    ``scale`` multiplies node counts for bigger runs; relative sizes and
+    per-core speeds stay fixed so the ranking (Comet > Stampede2 >
+    Stampede in total 2017 XD SUs) is preserved.
+    """
+    def nodes(n: int) -> int:
+        return max(4, int(n * scale))
+
+    comet = ResourceSpec(
+        "comet", nodes=nodes(48), cores_per_node=24,
+        mem_per_node_gb=128, gflops_per_core=18.0,
+    )
+    stampede2 = ResourceSpec(
+        "stampede2", nodes=nodes(36), cores_per_node=32,
+        mem_per_node_gb=96, gflops_per_core=22.0,
+    )
+    stampede = ResourceSpec(
+        "stampede", nodes=nodes(64), cores_per_node=16,
+        mem_per_node_gb=32, gflops_per_core=9.0,
+    )
+
+    presets: dict[str, SitePreset] = {}
+    # Comet runs hot all year; Stampede2's ramp-up keeps its annual total
+    # second; Stampede's decommissioning year trails far behind (Figure 1).
+    for spec, seed, envelope, util in (
+        (comet, 101, _FLAT_ENVELOPE, min(utilization * 1.2, 0.95)),
+        (stampede2, 102, _STAMPEDE2_ENVELOPE, utilization * 0.85),
+        (stampede, 103, _STAMPEDE_ENVELOPE, utilization),
+    ):
+        base = WorkloadConfig(
+            seed=seed,
+            max_cores=spec.total_cores,
+            monthly_activity=envelope,
+        )
+        # calibrate_jobs_per_day targets the *annual average* rate, but an
+        # envelope concentrates arrivals in its peak months; cap the peak
+        # month at the target utilization or queued backlog from the busy
+        # months drains into the quiet ones and flattens the envelope.
+        env_scale = (sum(envelope) / len(envelope)) / max(envelope)
+        calibrated = calibrate_jobs_per_day(
+            base, spec, target_utilization=util * env_scale
+        )
+        presets[spec.name] = SitePreset(spec.name, spec, calibrated)
+    return presets
+
+
+def ccr_like_site(*, scale: float = 1.0, utilization: float = 0.7, seed: int = 42) -> SitePreset:
+    """A CCR-style academic cluster (for Open XDMoD single-site examples)."""
+    spec = ResourceSpec(
+        "ub_hpc", nodes=max(4, int(32 * scale)), cores_per_node=16,
+        mem_per_node_gb=128, gflops_per_core=16.0,
+    )
+    base = WorkloadConfig(seed=seed, max_cores=spec.total_cores)
+    return SitePreset(
+        spec.name, spec, calibrate_jobs_per_day(base, spec, target_utilization=utilization)
+    )

@@ -1,0 +1,332 @@
+"""Synthetic HPC workload generation.
+
+The paper's figures are drawn from production accounting data (XSEDE's
+Comet/Stampede/Stampede2, CCR's clusters) that we do not have.  This module
+generates the closest synthetic equivalent: a population of users organized
+under PIs and a departmental hierarchy (Open XDMoD's institution
+configuration), a catalogue of applications with resource-usage
+personalities, and a Poisson job-arrival process modulated by diurnal and
+weekly activity cycles.  The output — :class:`JobRequest` streams — feeds the
+discrete-event cluster simulator, whose sacct-style records then exercise
+the identical ETL → warehouse → aggregation → federation path the real tool
+uses.
+
+Everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..timeutil import SECONDS_PER_DAY, SECONDS_PER_HOUR, from_ts
+
+#: Departmental hierarchy used for CCR-style drill-down: (decanal unit,
+#: department).  Mirrors Open XDMoD's 3-level hierarchy configuration.
+DEFAULT_HIERARCHY: tuple[tuple[str, str], ...] = (
+    ("Engineering", "Computer Science"),
+    ("Engineering", "Mechanical Engineering"),
+    ("Engineering", "Chemical Engineering"),
+    ("Arts and Sciences", "Physics"),
+    ("Arts and Sciences", "Chemistry"),
+    ("Arts and Sciences", "Biology"),
+    ("Arts and Sciences", "Mathematics"),
+    ("Medicine", "Biochemistry"),
+    ("Medicine", "Genomics"),
+    ("Medicine", "Pharmacology"),
+)
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """A simulated application and its resource-usage personality.
+
+    ``cpu_fraction``, ``mem_fraction`` and ``io_intensity`` drive the
+    SUPReMM performance-timeseries generator; ``typical_cores`` and
+    ``walltime_scale_hours`` shape job geometry.
+    """
+
+    name: str
+    science_field: str
+    typical_cores: int
+    walltime_scale_hours: float
+    cpu_fraction: float  # mean CPU-user fraction, 0..1
+    mem_fraction: float  # mean fraction of node memory used
+    io_intensity: float  # MB/s per core scale
+    flops_per_core: float  # GFLOP/s per core when busy
+
+
+DEFAULT_APPLICATIONS: tuple[ApplicationProfile, ...] = (
+    ApplicationProfile("namd", "Molecular Biosciences", 128, 12.0, 0.95, 0.35, 2.0, 8.0),
+    ApplicationProfile("gromacs", "Molecular Biosciences", 64, 8.0, 0.93, 0.30, 1.5, 9.0),
+    ApplicationProfile("vasp", "Materials Research", 96, 20.0, 0.90, 0.55, 1.0, 7.0),
+    ApplicationProfile("quantum_espresso", "Materials Research", 64, 16.0, 0.88, 0.60, 1.2, 6.5),
+    ApplicationProfile("lammps", "Materials Research", 128, 10.0, 0.92, 0.25, 1.8, 8.5),
+    ApplicationProfile("wrf", "Atmospheric Sciences", 256, 6.0, 0.85, 0.45, 6.0, 5.0),
+    ApplicationProfile("openfoam", "Fluid Dynamics", 128, 14.0, 0.87, 0.40, 4.0, 5.5),
+    ApplicationProfile("gaussian", "Chemistry", 16, 24.0, 0.80, 0.70, 2.5, 4.0),
+    ApplicationProfile("blast", "Genomics", 8, 4.0, 0.75, 0.50, 8.0, 2.0),
+    ApplicationProfile("bowtie", "Genomics", 16, 3.0, 0.70, 0.55, 10.0, 1.5),
+    ApplicationProfile("python", "Data Analytics", 4, 2.0, 0.60, 0.40, 3.0, 1.0),
+    ApplicationProfile("matlab", "Data Analytics", 4, 5.0, 0.65, 0.45, 2.0, 1.2),
+    ApplicationProfile("tensorflow", "Machine Learning", 32, 18.0, 0.82, 0.65, 5.0, 12.0),
+    ApplicationProfile("uncategorized", "Unknown", 8, 6.0, 0.70, 0.35, 1.0, 3.0),
+)
+
+
+@dataclass(frozen=True)
+class Pi:
+    """A principal investigator (XDMoD's PI dimension) with a department."""
+
+    username: str
+    full_name: str
+    decanal_unit: str
+    department: str
+
+
+@dataclass(frozen=True)
+class UserAccount:
+    """One portal user, attached to a PI's project."""
+
+    username: str
+    full_name: str
+    pi: str
+    decanal_unit: str
+    department: str
+    #: relative activity weight; a few power users dominate real systems
+    activity: float
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A job submission before scheduling (what the user asked for)."""
+
+    submit_ts: int
+    user: str
+    pi: str
+    application: str
+    nodes: int
+    cores: int
+    req_walltime_s: int
+    queue: str
+    #: fraction of the requested walltime the job would actually run
+    #: (scheduler may truncate at the limit -> TIMEOUT)
+    runtime_fraction: float
+    #: terminal state hint: COMPLETED/FAILED/CANCELLED biases from workload
+    fate: str
+
+
+@dataclass
+class WorkloadConfig:
+    """Knobs for one resource's synthetic workload."""
+
+    seed: int = 42
+    n_pis: int = 12
+    users_per_pi: int = 5
+    jobs_per_day: float = 150.0
+    applications: Sequence[ApplicationProfile] = DEFAULT_APPLICATIONS
+    hierarchy: Sequence[tuple[str, str]] = DEFAULT_HIERARCHY
+    #: multiplier applied to per-application typical core counts
+    size_scale: float = 1.0
+    #: hard cap from the resource (cores per job); None = no cap
+    max_cores: int | None = None
+    max_walltime_s: int = 48 * SECONDS_PER_HOUR
+    queues: Sequence[str] = ("normal", "debug", "largemem")
+    #: month -> relative activity multiplier (1-indexed), models ramp-up /
+    #: decommission (Figure 1's Stampede -> Stampede2 transition)
+    monthly_activity: Sequence[float] = tuple([1.0] * 12)
+    failed_fraction: float = 0.04
+    timeout_fraction: float = 0.04
+    cancelled_fraction: float = 0.02
+    #: fraction of jobs submitted through science gateways (community
+    #: accounts proxying many end users — the abstract's gateway support)
+    gateway_fraction: float = 0.0
+    gateways: Sequence[str] = ("nanohub", "cipres")
+
+
+#: Hour-of-day submission weights (UTC): quiet overnight, busy working hours.
+_DIURNAL = np.array(
+    [0.4, 0.3, 0.25, 0.2, 0.2, 0.25, 0.4, 0.6, 0.9, 1.2, 1.4, 1.5,
+     1.5, 1.5, 1.5, 1.4, 1.3, 1.2, 1.0, 0.9, 0.8, 0.7, 0.6, 0.5]
+)
+#: Day-of-week weights, Monday=0: weekends are quieter.
+_WEEKLY = np.array([1.15, 1.2, 1.2, 1.15, 1.1, 0.6, 0.5])
+
+
+class WorkloadGenerator:
+    """Generates the user population and job-request stream for a resource."""
+
+    def __init__(self, config: WorkloadConfig) -> None:
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self.pis = self._make_pis()
+        self.users = self._make_users()
+
+    # -- population ----------------------------------------------------------
+
+    def _make_pis(self) -> list[Pi]:
+        cfg = self.config
+        pis = []
+        for i in range(cfg.n_pis):
+            unit, dept = cfg.hierarchy[i % len(cfg.hierarchy)]
+            pis.append(
+                Pi(
+                    username=f"pi{i:03d}",
+                    full_name=f"PI {i:03d}",
+                    decanal_unit=unit,
+                    department=dept,
+                )
+            )
+        return pis
+
+    def _make_users(self) -> list[UserAccount]:
+        cfg = self.config
+        users = []
+        # Pareto-ish activity: a few users dominate, as in production logs.
+        for pi in self.pis:
+            for j in range(cfg.users_per_pi):
+                idx = len(users)
+                activity = float(self._rng.pareto(1.5) + 0.2)
+                users.append(
+                    UserAccount(
+                        username=f"user{idx:04d}",
+                        full_name=f"User {idx:04d}",
+                        pi=pi.username,
+                        decanal_unit=pi.decanal_unit,
+                        department=pi.department,
+                        activity=activity,
+                    )
+                )
+        return users
+
+    def person_directory(self) -> dict[str, "PersonInfo"]:
+        """Username -> institutional metadata, for ETL ingestion.
+
+        Open XDMoD sites configure this from hierarchy.json; the generator
+        exports its synthetic population in the same shape (see
+        :class:`repro.etl.star.PersonInfo`).
+        """
+        from ..etl.star import PersonInfo
+
+        return {
+            u.username: PersonInfo(
+                full_name=u.full_name,
+                pi=u.pi,
+                decanal_unit=u.decanal_unit,
+                department=u.department,
+            )
+            for u in self.users
+        }
+
+    def science_fields(self) -> dict[str, str]:
+        """Application name -> field of science, for ETL ingestion."""
+        return {
+            app.name: app.science_field for app in self.config.applications
+        }
+
+    # -- job stream ----------------------------------------------------------
+
+    def _pick_user(self) -> UserAccount:
+        weights = np.array([u.activity for u in self.users])
+        weights /= weights.sum()
+        return self.users[int(self._rng.choice(len(self.users), p=weights))]
+
+    def _activity_factor(self, epoch: int) -> float:
+        d = from_ts(epoch)
+        monthly = self.config.monthly_activity[
+            (d.month - 1) % len(self.config.monthly_activity)
+        ]
+        return float(
+            _DIURNAL[d.hour] * _WEEKLY[d.weekday()] * monthly
+        )
+
+    def generate(self, start_ts: int, end_ts: int) -> Iterator[JobRequest]:
+        """Yield job requests in submit-time order over ``[start, end)``.
+
+        A thinned Poisson process: candidate arrivals at the peak rate are
+        kept with probability proportional to the local activity factor.
+        """
+        cfg = self.config
+        rng = self._rng
+        peak_factor = float(_DIURNAL.max() * _WEEKLY.max() * max(cfg.monthly_activity))
+        if peak_factor <= 0:
+            return
+        # mean inter-arrival at the *peak* instantaneous rate
+        base_rate_per_s = cfg.jobs_per_day / SECONDS_PER_DAY
+        peak_rate = base_rate_per_s * peak_factor / float(
+            np.mean(_DIURNAL) * np.mean(_WEEKLY) * np.mean(cfg.monthly_activity)
+        )
+        t = float(start_ts)
+        while True:
+            t += rng.exponential(1.0 / peak_rate)
+            if t >= end_ts:
+                return
+            keep_p = self._activity_factor(int(t)) / peak_factor
+            if rng.random() > keep_p:
+                continue
+            yield self._make_request(int(t))
+
+    def _make_request(self, submit_ts: int) -> JobRequest:
+        cfg = self.config
+        rng = self._rng
+        app = cfg.applications[int(rng.integers(len(cfg.applications)))]
+        if cfg.gateway_fraction > 0 and rng.random() < cfg.gateway_fraction:
+            gateway = cfg.gateways[int(rng.integers(len(cfg.gateways)))]
+            username = f"gw_{gateway}"
+            pi_name = f"{gateway}_alloc"
+        else:
+            user = self._pick_user()
+            username = user.username
+            pi_name = user.pi
+
+        # Job size: lognormal around the application's typical core count,
+        # snapped to a power-of-two-ish ladder as users actually request.
+        raw_cores = app.typical_cores * cfg.size_scale * float(
+            rng.lognormal(mean=0.0, sigma=0.8)
+        )
+        cores = max(1, int(2 ** round(math.log2(max(raw_cores, 1.0)))))
+        if cfg.max_cores is not None:
+            cores = min(cores, cfg.max_cores)
+
+        # Requested walltime: users over-request; actual runtime is a
+        # fraction of the request.
+        scale_s = app.walltime_scale_hours * SECONDS_PER_HOUR
+        req = float(rng.lognormal(mean=math.log(scale_s), sigma=0.7))
+        req_walltime_s = int(min(max(req, 120.0), cfg.max_walltime_s))
+
+        u = rng.random()
+        if u < cfg.failed_fraction:
+            fate = "FAILED"
+            runtime_fraction = float(rng.uniform(0.001, 0.1))
+        elif u < cfg.failed_fraction + cfg.timeout_fraction:
+            fate = "TIMEOUT"
+            runtime_fraction = 1.0
+        elif u < cfg.failed_fraction + cfg.timeout_fraction + cfg.cancelled_fraction:
+            fate = "CANCELLED"
+            runtime_fraction = 0.0
+        else:
+            fate = "COMPLETED"
+            runtime_fraction = float(np.clip(rng.beta(2.5, 2.0), 0.02, 0.98))
+
+        if cores <= 4 and req_walltime_s <= SECONDS_PER_HOUR:
+            queue = "debug"
+        elif app.mem_fraction > 0.6 and "largemem" in cfg.queues:
+            queue = "largemem"
+        else:
+            queue = "normal"
+
+        return JobRequest(
+            submit_ts=submit_ts,
+            user=username,
+            pi=pi_name,
+            application=app.name,
+            nodes=0,  # filled by the scheduler from the resource geometry
+            cores=cores,
+            req_walltime_s=req_walltime_s,
+            queue=queue,
+            runtime_fraction=runtime_fraction,
+            fate=fate,
+        )

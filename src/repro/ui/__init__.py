@@ -1,0 +1,43 @@
+"""UI layer: charts, usage explorer, Job Viewer, export, reports, HTTP API."""
+
+from .ascii import render_bars, render_lines, render_table
+from .charts import ChartBuilder, ChartData, Series, chart_from_result
+from .explorer import ExplorerState, UsageExplorer
+from .export import chart_to_csv, chart_to_json, result_to_csv, result_to_json
+from .jobviewer import JobDetail, JobNotFoundError, JobViewer
+from .reports import (
+    ChartSpec,
+    GeneratedReport,
+    ReportDefinition,
+    ReportGenerator,
+    due_on,
+    run_schedule,
+)
+from .rest import ApiServer, XdmodApi
+
+__all__ = [
+    "ApiServer",
+    "ChartBuilder",
+    "ChartData",
+    "ChartSpec",
+    "ExplorerState",
+    "GeneratedReport",
+    "JobDetail",
+    "JobNotFoundError",
+    "JobViewer",
+    "ReportDefinition",
+    "ReportGenerator",
+    "Series",
+    "UsageExplorer",
+    "XdmodApi",
+    "chart_from_result",
+    "chart_to_csv",
+    "chart_to_json",
+    "due_on",
+    "render_bars",
+    "render_lines",
+    "render_table",
+    "result_to_csv",
+    "result_to_json",
+    "run_schedule",
+]

@@ -1,0 +1,162 @@
+"""Chart-data construction: the plotting surface of the XDMoD web UI.
+
+The web interface "enables users to chart and explore usage data" with
+timeseries and aggregate views over any time range.  A :class:`ChartData`
+is the JSON-ready description a front end would render — title, axes, and
+ordered series — built from a realm query.  Figures 1, 6, and 7 of the
+paper are ChartData instances produced by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..core.identity import IdentityMap
+from ..realms.base import Realm, RealmResult
+from ..warehouse import Schema
+
+
+@dataclass
+class Series:
+    """One plotted line/bar group."""
+
+    label: str
+    points: list[tuple[str, float | None]]  # (x label, y value)
+
+    def values(self) -> list[float | None]:
+        return [v for _, v in self.points]
+
+    def total(self) -> float:
+        return sum(v for _, v in self.points if v is not None)
+
+
+@dataclass
+class ChartData:
+    """A renderable chart: what the ExtJS front end receives."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    view: str = "timeseries"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "view": self.view,
+            "series": [
+                {"label": s.label, "points": [list(p) for p in s.points]}
+                for s in self.series
+            ],
+        }
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(label)
+
+    @property
+    def labels(self) -> list[str]:
+        return [s.label for s in self.series]
+
+
+def chart_from_result(
+    result: RealmResult,
+    *,
+    title: str,
+    x_label: str = "Period",
+    top_n: int | None = None,
+) -> ChartData:
+    """Build chart data from a realm query result.
+
+    ``top_n`` keeps only the highest-total groups (Figure 1 keeps the top
+    three resources), ordered by descending total.
+    """
+    y_label = f"{result.metric.label}" + (
+        f" [{result.metric.unit}]" if result.metric.unit else ""
+    )
+    chart = ChartData(
+        title=title,
+        x_label=x_label,
+        y_label=y_label,
+        view="timeseries" if any(r.period_start is not None for r in result.rows) else "aggregate",
+    )
+    series_map = result.series()
+    order = [g for g, _ in sorted(result.totals().items(), key=lambda kv: -kv[1])]
+    for group in order:
+        if group not in series_map:
+            continue
+        chart.series.append(Series(label=group, points=series_map[group]))
+    if top_n is not None:
+        chart.series = chart.series[:top_n]
+    return chart
+
+
+class ChartBuilder:
+    """Convenience facade: realm + sources -> charts."""
+
+    def __init__(
+        self,
+        realm: Realm,
+        sources: Schema | Mapping[str, Schema],
+        *,
+        idmap: IdentityMap | None = None,
+    ) -> None:
+        self.realm = realm
+        self.sources = sources
+        self.idmap = idmap
+
+    def timeseries(
+        self,
+        metric: str,
+        *,
+        start: int,
+        end: int,
+        period: str = "month",
+        group_by: str | None = None,
+        filters: Mapping[str, Iterable[str]] | None = None,
+        title: str | None = None,
+        top_n: int | None = None,
+    ) -> ChartData:
+        result = self.realm.query(
+            self.sources, metric,
+            start=start, end=end, period=period,
+            group_by=group_by, filters=filters,
+            view="timeseries", idmap=self.idmap,
+        )
+        return chart_from_result(
+            result,
+            title=title or f"{self.realm.name}: {result.metric.label}",
+            top_n=top_n,
+        )
+
+    def aggregate(
+        self,
+        metric: str,
+        *,
+        start: int,
+        end: int,
+        period: str = "month",
+        group_by: str | None = None,
+        filters: Mapping[str, Iterable[str]] | None = None,
+        title: str | None = None,
+        top_n: int | None = None,
+    ) -> ChartData:
+        result = self.realm.query(
+            self.sources, metric,
+            start=start, end=end, period=period,
+            group_by=group_by, filters=filters,
+            view="aggregate", idmap=self.idmap,
+        )
+        chart = chart_from_result(
+            result,
+            title=title or f"{self.realm.name}: {result.metric.label}",
+            x_label=group_by or "total",
+            top_n=top_n,
+        )
+        chart.view = "aggregate"
+        return chart

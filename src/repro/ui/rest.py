@@ -1,0 +1,183 @@
+"""HTTP JSON API: the machine face of the XDMoD web interface.
+
+A thin stdlib ``http.server`` wrapper exposing realm catalogs and queries
+for one instance (or a federation hub's combined sources):
+
+- ``GET /health`` — liveness
+- ``GET /realms`` — realm catalog with metrics and dimensions
+- ``GET /query?realm=jobs&metric=xdsu&start=...&end=...&period=month``
+  ``&group_by=resource&view=timeseries&filter.resource=comet,stampede``
+- ``GET /chart?...`` — same parameters, chart-shaped payload
+
+Authentication: optional bearer tokens; when enabled, ``/query`` and
+``/chart`` require ``Authorization: Bearer <token>`` naming a session
+token opened through :mod:`repro.auth` (the public catalog stays open, as
+XDMoD's public charts do).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+
+from ..auth.accounts import Session
+from ..realms.base import Realm, RealmQueryError
+from ..warehouse import Schema
+from .charts import chart_from_result
+
+
+class XdmodApi:
+    """The request-independent application object."""
+
+    def __init__(
+        self,
+        realms: Mapping[str, Realm],
+        sources: Schema | Mapping[str, Schema],
+        *,
+        require_auth: bool = False,
+    ) -> None:
+        self.realms = dict(realms)
+        self.sources = sources
+        self.require_auth = require_auth
+        self._sessions: dict[str, Session] = {}
+
+    def register_session(self, session: Session) -> None:
+        self._sessions[session.token] = session
+
+    def _authorized(self, headers: Mapping[str, str]) -> bool:
+        if not self.require_auth:
+            return True
+        auth = headers.get("Authorization", "")
+        if not auth.startswith("Bearer "):
+            return False
+        session = self._sessions.get(auth[len("Bearer "):])
+        return session is not None and not session.expired
+
+    # -- endpoint handlers ----------------------------------------------------
+
+    def handle(self, path: str, headers: Mapping[str, str]) -> tuple[int, dict[str, Any]]:
+        """Dispatch one GET; returns (status, json payload)."""
+        parsed = urllib.parse.urlparse(path)
+        params = {
+            k: v[0] for k, v in urllib.parse.parse_qs(parsed.query).items()
+        }
+        route = parsed.path.rstrip("/") or "/"
+        if route in ("/", "/health"):
+            return 200, {"status": "ok", "realms": sorted(self.realms)}
+        if route == "/realms":
+            return 200, {
+                name: {
+                    "metrics": sorted(realm.metrics),
+                    "dimensions": sorted(realm.dimensions),
+                }
+                for name, realm in self.realms.items()
+            }
+        if route in ("/query", "/chart"):
+            if not self._authorized(headers):
+                return 401, {"error": "authentication required"}
+            return self._query(params, chart=(route == "/chart"))
+        return 404, {"error": f"no route {route!r}"}
+
+    def _query(self, params: Mapping[str, str], *, chart: bool) -> tuple[int, dict[str, Any]]:
+        try:
+            realm = self.realms[params["realm"]]
+        except KeyError:
+            return 400, {"error": f"unknown realm {params.get('realm')!r}"}
+        try:
+            metric = params["metric"]
+            start = int(params["start"])
+            end = int(params["end"])
+        except (KeyError, ValueError) as exc:
+            return 400, {"error": f"bad parameters: {exc}"}
+        filters: dict[str, set[str]] = {}
+        for key, value in params.items():
+            if key.startswith("filter."):
+                filters[key[len("filter."):]] = set(value.split(","))
+        try:
+            result = realm.query(
+                self.sources,
+                metric,
+                start=start,
+                end=end,
+                period=params.get("period", "month"),
+                group_by=params.get("group_by") or None,
+                filters=filters or None,
+                view=params.get("view", "timeseries"),
+            )
+        except RealmQueryError as exc:
+            return 400, {"error": str(exc)}
+        if chart:
+            data = chart_from_result(
+                result,
+                title=params.get("title", f"{params['realm']}:{metric}"),
+                top_n=int(params["top_n"]) if "top_n" in params else None,
+            )
+            return 200, data.to_dict()
+        return 200, {
+            "metric": metric,
+            "rows": [
+                {
+                    "group": r.group,
+                    "period": r.period_label,
+                    "period_start": r.period_start,
+                    "value": r.value,
+                }
+                for r in result.rows
+            ],
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    api: XdmodApi  # set by server factory
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+        status, payload = self.api.handle(self.path, dict(self.headers))
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args) -> None:  # silence test noise
+        pass
+
+
+class ApiServer:
+    """Threaded HTTP server wrapper with context-manager lifetime."""
+
+    def __init__(self, api: XdmodApi, *, host: str = "127.0.0.1", port: int = 0) -> None:
+        handler = type("BoundHandler", (_Handler,), {"api": api})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._httpd.server_address[:2]  # type: ignore[return-value]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ApiServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "ApiServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,443 @@
+"""Storage engine: databases, schemas, tables, CRUD, indexes.
+
+This is the MySQL-equivalent substrate under every XDMoD instance.  A
+:class:`Database` holds named :class:`Schema` objects (one per logical
+database — XDMoD uses ``modw``, ``mod_shredder``, etc.; the federation hub
+additionally holds one renamed schema per satellite).  Every schema owns a
+:class:`~repro.warehouse.binlog.Binlog` and all committed changes are
+recorded there, which is what makes tight federation possible.
+
+Rows are stored as tuples in insertion order with tombstoned deletes, so row
+ids remain stable; primary keys and declared secondary indexes are hash maps
+from value to row ids.  The design favours clarity first (per the
+optimization guide: make it work, make it right), with the hot aggregation
+paths vectorized separately in :mod:`repro.aggregation`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from .binlog import Binlog, BinlogEvent, EventType
+from .errors import (
+    DuplicateObjectError,
+    PrimaryKeyError,
+    SchemaError,
+    UnknownObjectError,
+)
+from .schema import TableSchema
+
+
+class Table:
+    """One table: schema + rows + indexes.
+
+    Not constructed directly — use :meth:`Schema.create_table`.
+    """
+
+    def __init__(self, schema: "Schema", table_schema: TableSchema) -> None:
+        self._owner = schema
+        self.schema = table_schema
+        self._rows: list[tuple[Any, ...] | None] = []  # None == tombstone
+        self._live_count = 0
+        self._pk_index: dict[tuple[Any, ...], int] = {}
+        self._indexes: dict[str, dict[Any, set[int]]] = {
+            name: {} for name in table_schema.indexes
+        }
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return self._live_count
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate live rows as dicts (insertion order)."""
+        names = self.schema.column_names
+        for row in self._rows:
+            if row is not None:
+                yield dict(zip(names, row))
+
+    def raw_rows(self) -> Iterator[tuple[Any, ...]]:
+        """Iterate live rows as stored tuples (no dict overhead)."""
+        for row in self._rows:
+            if row is not None:
+                yield row
+
+    def row_ids(self) -> Iterator[int]:
+        for rid, row in enumerate(self._rows):
+            if row is not None:
+                yield rid
+
+    def row_at(self, rid: int) -> tuple[Any, ...]:
+        row = self._rows[rid]
+        if row is None:
+            raise UnknownObjectError(f"row id {rid} is deleted")
+        return row
+
+    def checksum(self) -> str:
+        """Order-independent digest of live row contents.
+
+        Used by :mod:`repro.core.consistency` to verify that replicated data
+        on the hub is byte-identical to the satellite's (invariant 1 in
+        DESIGN.md).
+        """
+        digests = sorted(
+            hashlib.sha256(
+                json.dumps(row, sort_keys=False, default=str).encode()
+            ).hexdigest()
+            for row in self.raw_rows()
+        )
+        h = hashlib.sha256()
+        for d in digests:
+            h.update(d.encode())
+        return h.hexdigest()
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, values: Mapping[str, Any], *, _log: bool = True) -> int:
+        """Insert one row; returns its row id.
+
+        Raises :class:`PrimaryKeyError` on duplicate key.
+        """
+        row = self.schema.normalize_row(values)
+        key = self.schema.key_of(row)
+        if key is not None and key in self._pk_index:
+            raise PrimaryKeyError(
+                f"table {self.name!r}: duplicate primary key {key!r}"
+            )
+        rid = len(self._rows)
+        self._rows.append(row)
+        self._live_count += 1
+        if key is not None:
+            self._pk_index[key] = rid
+        self._index_add(rid, row)
+        if _log:
+            self._owner._log(
+                EventType.INSERT,
+                self.name,
+                {"row": dict(zip(self.schema.column_names, row))},
+            )
+        return rid
+
+    def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> int:
+        """Bulk insert; returns the number of rows inserted."""
+        n = 0
+        for values in rows:
+            self.insert(values)
+            n += 1
+        return n
+
+    def upsert(self, values: Mapping[str, Any]) -> int:
+        """Insert, or update in place when the primary key already exists."""
+        row = self.schema.normalize_row(values)
+        key = self.schema.key_of(row)
+        if key is not None and key in self._pk_index:
+            rid = self._pk_index[key]
+            self._replace(rid, row)
+            self._owner._log(
+                EventType.UPDATE,
+                self.name,
+                {
+                    "key": list(key),
+                    "row": dict(zip(self.schema.column_names, row)),
+                },
+            )
+            return rid
+        return self.insert(values)
+
+    def get(self, key: Sequence[Any]) -> dict[str, Any] | None:
+        """Primary-key point lookup; returns the row dict or None."""
+        if not self.schema.primary_key:
+            raise SchemaError(f"table {self.name!r} has no primary key")
+        rid = self._pk_index.get(tuple(key))
+        if rid is None:
+            return None
+        return dict(zip(self.schema.column_names, self._rows[rid]))  # type: ignore[arg-type]
+
+    def update_where(
+        self,
+        predicate: Callable[[dict[str, Any]], bool],
+        changes: Mapping[str, Any],
+    ) -> int:
+        """Update all rows matching ``predicate``; returns count updated."""
+        names = self.schema.column_names
+        updated = 0
+        for rid, row in enumerate(self._rows):
+            if row is None:
+                continue
+            asdict = dict(zip(names, row))
+            if not predicate(asdict):
+                continue
+            asdict.update(changes)
+            new_row = self.schema.normalize_row(asdict)
+            new_key = self.schema.key_of(new_row)
+            old_key = self.schema.key_of(row)
+            if new_key != old_key and new_key in self._pk_index:
+                raise PrimaryKeyError(
+                    f"table {self.name!r}: update collides on key {new_key!r}"
+                )
+            if old_key is not None:
+                del self._pk_index[old_key]
+            if new_key is not None:
+                self._pk_index[new_key] = rid
+            self._replace(rid, new_row)
+            self._owner._log(
+                EventType.UPDATE,
+                self.name,
+                {
+                    "key": list(new_key) if new_key is not None else None,
+                    "old_row": dict(zip(names, row)),
+                    "row": dict(zip(names, new_row)),
+                },
+            )
+            updated += 1
+        return updated
+
+    def delete_where(self, predicate: Callable[[dict[str, Any]], bool]) -> int:
+        """Delete all rows matching ``predicate``; returns count deleted."""
+        names = self.schema.column_names
+        deleted = 0
+        for rid, row in enumerate(self._rows):
+            if row is None:
+                continue
+            asdict = dict(zip(names, row))
+            if not predicate(asdict):
+                continue
+            key = self.schema.key_of(row)
+            if key is not None:
+                del self._pk_index[key]
+            self._index_remove(rid, row)
+            self._rows[rid] = None
+            self._live_count -= 1
+            self._owner._log(
+                EventType.DELETE,
+                self.name,
+                {"key": list(key) if key is not None else None, "row": asdict},
+            )
+            deleted += 1
+        return deleted
+
+    def truncate(self) -> None:
+        """Remove all rows (logged as one TRUNCATE event)."""
+        self._rows.clear()
+        self._live_count = 0
+        self._pk_index.clear()
+        for idx in self._indexes.values():
+            idx.clear()
+        self._owner._log(EventType.TRUNCATE, self.name, {})
+
+    # -- index plumbing -----------------------------------------------------
+
+    def lookup_index(self, column: str, value: Any) -> list[dict[str, Any]]:
+        """Equality lookup through a declared secondary index."""
+        if column not in self._indexes:
+            raise UnknownObjectError(
+                f"table {self.name!r} has no index on {column!r}"
+            )
+        names = self.schema.column_names
+        rids = sorted(self._indexes[column].get(value, ()))
+        return [dict(zip(names, self._rows[rid])) for rid in rids]  # type: ignore[arg-type]
+
+    def index_row_ids(self, column: str, value: Any) -> set[int]:
+        if column not in self._indexes:
+            raise UnknownObjectError(
+                f"table {self.name!r} has no index on {column!r}"
+            )
+        return set(self._indexes[column].get(value, ()))
+
+    def _index_add(self, rid: int, row: tuple[Any, ...]) -> None:
+        for col, idx in self._indexes.items():
+            value = row[self.schema.position(col)]
+            idx.setdefault(value, set()).add(rid)
+
+    def _index_remove(self, rid: int, row: tuple[Any, ...]) -> None:
+        for col, idx in self._indexes.items():
+            value = row[self.schema.position(col)]
+            bucket = idx.get(value)
+            if bucket is not None:
+                bucket.discard(rid)
+                if not bucket:
+                    del idx[value]
+
+    def _replace(self, rid: int, new_row: tuple[Any, ...]) -> None:
+        old_row = self._rows[rid]
+        if old_row is not None:
+            self._index_remove(rid, old_row)
+        self._rows[rid] = new_row
+        self._index_add(rid, new_row)
+
+    # -- column access for vectorized aggregation ---------------------------
+
+    def column_values(self, column: str) -> list[Any]:
+        """All live values of one column, in row order (aggregation feed)."""
+        pos = self.schema.position(column)
+        return [row[pos] for row in self._rows if row is not None]
+
+    def columns_values(self, columns: Sequence[str]) -> list[tuple[Any, ...]]:
+        """Live values of several columns, in row order."""
+        positions = [self.schema.position(c) for c in columns]
+        return [
+            tuple(row[p] for p in positions)
+            for row in self._rows
+            if row is not None
+        ]
+
+
+class Schema:
+    """A named schema (logical database) with its own binlog."""
+
+    def __init__(self, name: str) -> None:
+        if not name or not name.replace("_", "a").isalnum():
+            raise SchemaError(f"invalid schema name {name!r}")
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self.binlog = Binlog()
+        self._lock = threading.RLock()
+
+    def _log(self, etype: EventType, table: str, data: dict[str, Any]) -> BinlogEvent:
+        return self.binlog.append(etype, table, data)
+
+    def create_table(self, table_schema: TableSchema) -> Table:
+        with self._lock:
+            if table_schema.name in self._tables:
+                raise DuplicateObjectError(
+                    f"schema {self.name!r}: table {table_schema.name!r} exists"
+                )
+            table = Table(self, table_schema)
+            self._tables[table_schema.name] = table
+            self._log(
+                EventType.CREATE_TABLE, table_schema.name, table_schema.to_dict()
+            )
+            return table
+
+    def drop_table(self, name: str) -> None:
+        with self._lock:
+            if name not in self._tables:
+                raise UnknownObjectError(
+                    f"schema {self.name!r}: no table {name!r}"
+                )
+            del self._tables[name]
+            self._log(EventType.DROP_TABLE, name, {})
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownObjectError(
+                f"schema {self.name!r}: no table {name!r}"
+            ) from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def apply_event(self, event: BinlogEvent) -> None:
+        """Apply a binlog event from another schema to this one.
+
+        This is the replication "applier" side: the federation hub calls
+        this for each event shipped from a satellite.  Row application goes
+        through the normal table methods so the hub's own binlog also
+        records the change (supporting hub-of-hubs topologies), but inserts
+        use upsert semantics so replay is idempotent.
+        """
+        if event.etype is EventType.CREATE_TABLE:
+            schema = TableSchema.from_dict(event.data)
+            if schema.name in self._tables:
+                return  # idempotent re-provision
+            self.create_table(schema)
+            return
+        if event.etype is EventType.DROP_TABLE:
+            if event.table in self._tables:
+                self.drop_table(event.table)
+            return
+        table = self.table(event.table)
+        if event.etype is EventType.TRUNCATE:
+            table.truncate()
+        elif event.etype is EventType.INSERT:
+            row = event.data["row"]
+            if table.schema.primary_key:
+                table.upsert(row)
+            else:
+                table.insert(row)
+        elif event.etype is EventType.UPDATE:
+            table.upsert(event.data["row"])
+        elif event.etype is EventType.DELETE:
+            if event.data.get("key") is not None and table.schema.primary_key:
+                key = tuple(event.data["key"])
+                pk = table.schema.primary_key
+                table.delete_where(
+                    lambda r, key=key, pk=pk: tuple(r[c] for c in pk) == key
+                )
+            else:
+                target = event.data.get("row", {})
+                table.delete_where(
+                    lambda r, target=target: all(
+                        r.get(k) == v for k, v in target.items()
+                    )
+                )
+        else:  # pragma: no cover - exhaustive
+            raise AssertionError(f"unhandled event type {event.etype}")
+
+    def checksum(self) -> str:
+        """Digest over all tables' contents (schema-name independent)."""
+        h = hashlib.sha256()
+        for name in self.table_names():
+            h.update(name.encode())
+            h.update(self._tables[name].checksum().encode())
+        return h.hexdigest()
+
+
+class Database:
+    """Top-level container: a set of named schemas.
+
+    One :class:`Database` per XDMoD instance.  The federation hub's database
+    accumulates one extra schema per satellite (``fed_<instance>``) alongside
+    its own.
+    """
+
+    def __init__(self, name: str = "xdmod") -> None:
+        self.name = name
+        self._schemas: dict[str, Schema] = {}
+
+    def create_schema(self, name: str) -> Schema:
+        if name in self._schemas:
+            raise DuplicateObjectError(f"schema {name!r} already exists")
+        schema = Schema(name)
+        self._schemas[name] = schema
+        return schema
+
+    def ensure_schema(self, name: str) -> Schema:
+        if name in self._schemas:
+            return self._schemas[name]
+        return self.create_schema(name)
+
+    def drop_schema(self, name: str) -> None:
+        if name not in self._schemas:
+            raise UnknownObjectError(f"no schema {name!r}")
+        del self._schemas[name]
+
+    def schema(self, name: str) -> Schema:
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise UnknownObjectError(f"no schema {name!r}") from None
+
+    def has_schema(self, name: str) -> bool:
+        return name in self._schemas
+
+    def schema_names(self) -> list[str]:
+        return sorted(self._schemas)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._schemas

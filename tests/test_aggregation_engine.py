@@ -1,0 +1,195 @@
+"""Aggregate-table builder: conservation, apportioning, re-aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregation import (
+    AggregationConfig,
+    Aggregator,
+    TABLE1_FEDERATION_HUB,
+    TABLE1_INSTANCE_B,
+)
+from repro.etl import ParsedJob, ingest_jobs, ingest_cloud_events
+from repro.timeutil import SECONDS_PER_HOUR, ts
+from repro.warehouse import Database
+
+H = SECONDS_PER_HOUR
+
+
+def job(job_id, start, end, *, cores=4, resource="r1", user="u1") -> ParsedJob:
+    return ParsedJob(
+        job_id=job_id, user=user, pi="pi", queue="normal",
+        application="app", submit_ts=start - H, start_ts=start, end_ts=end,
+        nodes=1, cores=cores, req_walltime_s=10 * H, state="COMPLETED",
+        exit_code=0, resource=resource,
+    )
+
+
+@pytest.fixture()
+def schema():
+    return Database().create_schema("modw")
+
+
+class TestJobAggregation:
+    def test_month_boundary_apportioning(self, schema):
+        """A job spanning Jan|Feb splits its usage by overlap."""
+        start = ts(2017, 1, 31, 20)
+        end = ts(2017, 2, 1, 4)  # 8h: 4h in Jan, 4h in Feb
+        ingest_jobs(schema, [job(1, start, end, cores=10)])
+        agg = Aggregator(schema)
+        agg.aggregate_jobs("month")
+        rows = {r["period_label"]: r for r in schema.table("agg_job_month").rows()}
+        assert rows["2017-01"]["cpu_hours"] == pytest.approx(40.0)
+        assert rows["2017-02"]["cpu_hours"] == pytest.approx(40.0)
+        # the job *ended* in February
+        assert rows["2017-02"]["n_jobs_ended"] == 1
+        assert rows["2017-01"]["n_jobs_ended"] == 0
+        # and *started* in January, where its wait attributes
+        assert rows["2017-01"]["n_jobs_started"] == 1
+        assert rows["2017-01"]["wait_hours"] == pytest.approx(1.0)
+
+    def test_cpu_hours_conserved(self, aggregated_instance):
+        schema = aggregated_instance.schema
+        raw = sum(r["cpu_hours"] for r in schema.table("fact_job").rows())
+        for period in ("day", "month"):
+            agg = sum(
+                r["cpu_hours"]
+                for r in schema.table(f"agg_job_{period}").rows()
+            )
+            assert agg == pytest.approx(raw, rel=1e-9)
+
+    def test_job_counts_conserved(self, aggregated_instance):
+        schema = aggregated_instance.schema
+        n_raw = len(schema.table("fact_job"))
+        n_agg = sum(
+            r["n_jobs_ended"] for r in schema.table("agg_job_month").rows()
+        )
+        assert n_agg == n_raw
+
+    def test_walltime_levels_used(self, schema):
+        ingest_jobs(schema, [job(1, ts(2017, 1, 2), ts(2017, 1, 2, 15))])
+        Aggregator(
+            schema, AggregationConfig(walltime_levels=TABLE1_INSTANCE_B)
+        ).aggregate_jobs("month")
+        row = next(schema.table("agg_job_month").rows())
+        assert row["walltime_level"] == "10-20 hours"
+
+    def test_reaggregation_rebins_without_changing_totals(self, schema):
+        ingest_jobs(schema, [
+            job(1, ts(2017, 1, 2), ts(2017, 1, 2, 15)),
+            job(2, ts(2017, 1, 3), ts(2017, 1, 3, 2)),
+        ])
+        agg = Aggregator(schema, AggregationConfig(walltime_levels=TABLE1_INSTANCE_B))
+        agg.aggregate_all(["month"])
+        total_before = sum(
+            r["cpu_hours"] for r in schema.table("agg_job_month").rows()
+        )
+        levels_before = {
+            r["walltime_level"] for r in schema.table("agg_job_month").rows()
+        }
+        agg.reaggregate(
+            AggregationConfig(walltime_levels=TABLE1_FEDERATION_HUB), ["month"]
+        )
+        total_after = sum(
+            r["cpu_hours"] for r in schema.table("agg_job_month").rows()
+        )
+        levels_after = {
+            r["walltime_level"] for r in schema.table("agg_job_month").rows()
+        }
+        assert total_after == pytest.approx(total_before)
+        assert levels_before != levels_after
+
+    def test_zero_walltime_jobs_contribute_no_usage(self, schema):
+        cancelled = ParsedJob(
+            job_id=1, user="u", pi="p", queue="normal", application="a",
+            submit_ts=ts(2017, 1, 5), start_ts=ts(2017, 1, 5),
+            end_ts=ts(2017, 1, 5), nodes=0, cores=4, req_walltime_s=H,
+            state="CANCELLED", exit_code=0, resource="r1",
+        )
+        ingest_jobs(schema, [cancelled])
+        Aggregator(schema).aggregate_jobs("month")
+        row = next(schema.table("agg_job_month").rows())
+        assert row["cpu_hours"] == 0.0
+        assert row["n_jobs_ended"] == 1
+
+    def test_empty_schema_aggregates_to_empty_tables(self, schema):
+        out = Aggregator(schema).aggregate_all(["month"])
+        assert out == {
+            "agg_job_month": 0, "agg_storage_month": 0, "agg_cloud_month": 0,
+        }
+
+
+class TestCloudAggregation:
+    def _events(self):
+        base = ts(2017, 1, 31, 22)
+        return [
+            {"event_id": 1, "vm_id": 1, "event_type": "provision", "ts": base,
+             "instance_type": "c2", "vcpus": 2, "mem_gb": 2.0, "disk_gb": 10.0,
+             "user": "u", "project": "p", "resource": "cloud"},
+            {"event_id": 2, "vm_id": 1, "event_type": "start", "ts": base,
+             "instance_type": "c2", "vcpus": 2, "mem_gb": 2.0, "disk_gb": 10.0,
+             "user": "u", "project": "p", "resource": "cloud"},
+            {"event_id": 3, "vm_id": 1, "event_type": "terminate",
+             "ts": base + 4 * H,  # 2h in Jan, 2h in Feb
+             "instance_type": "c2", "vcpus": 2, "mem_gb": 2.0, "disk_gb": 10.0,
+             "user": "u", "project": "p", "resource": "cloud"},
+        ]
+
+    def test_core_hours_apportioned_across_months(self, schema):
+        ingest_cloud_events(schema, self._events())
+        Aggregator(schema).aggregate_cloud("month")
+        rows = {r["period_label"]: r for r in schema.table("agg_cloud_month").rows()}
+        assert rows["2017-01"]["core_hours"] == pytest.approx(4.0)
+        assert rows["2017-02"]["core_hours"] == pytest.approx(4.0)
+        assert rows["2017-01"]["memory_level"] == "2-4 GB"
+        # VM active in both months
+        assert rows["2017-01"]["n_vms_active"] == 1
+        assert rows["2017-02"]["n_vms_active"] == 1
+        # started in Jan, ended in Feb
+        assert rows["2017-01"]["n_vms_started"] == 1
+        assert rows["2017-02"]["n_vms_ended"] == 1
+
+    def test_cloud_core_hours_conserved(self, schema, cloud_events):
+        ingest_cloud_events(schema, cloud_events)
+        Aggregator(schema).aggregate_cloud("month")
+        raw = sum(r["core_hours"] for r in schema.table("fact_vm").rows())
+        agg = sum(r["core_hours"] for r in schema.table("agg_cloud_month").rows())
+        assert agg == pytest.approx(raw, rel=1e-9)
+
+
+class TestStorageAggregation:
+    def test_gauge_semantics(self, schema):
+        """Two snapshots in a month average; two users at one ts sum."""
+        docs = []
+        for i, t in enumerate((ts(2017, 1, 7), ts(2017, 1, 21))):
+            for user, gb in (("u1", 100.0), ("u2", 50.0)):
+                docs.append({
+                    "resource": "store", "filesystem": "fs1",
+                    "mountpoint": "/fs1", "resource_type": "persistent",
+                    "user": user, "ts": t, "file_count": 1000 * (i + 1),
+                    "logical_usage_gb": gb + 10 * i,
+                    "physical_usage_gb": gb + 10 * i,
+                    "soft_quota_gb": 200.0, "hard_quota_gb": 400.0,
+                })
+        from repro.etl import ingest_storage_snapshots
+
+        ingest_storage_snapshots(schema, docs)
+        Aggregator(schema).aggregate_storage("month")
+        row = next(schema.table("agg_storage_month").rows())
+        # per-ts totals: 150, 170 -> monthly mean 160
+        assert row["avg_logical_gb"] == pytest.approx(160.0)
+        # per-ts file totals: 2000, 4000 -> mean 3000
+        assert row["avg_file_count"] == pytest.approx(3000.0)
+        assert row["user_count"] == 2
+        assert row["n_snapshots"] == 2
+
+    def test_storage_from_simulator(self, schema, storage_docs):
+        from repro.etl import ingest_storage_snapshots
+
+        ingest_storage_snapshots(schema, storage_docs)
+        Aggregator(schema).aggregate_storage("month")
+        rows = list(schema.table("agg_storage_month").rows())
+        assert rows
+        for row in rows:
+            assert row["avg_physical_gb"] >= row["avg_logical_gb"]

@@ -1,0 +1,245 @@
+"""Authentication: accounts, passwords, SAML, SSO flows (Figures 4-5)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.auth import (
+    Account,
+    AccountStore,
+    AuthError,
+    GlobusLinkage,
+    IdentityProvider,
+    LocalAuthenticator,
+    Role,
+    SamlAssertion,
+    SamlError,
+    ServiceProvider,
+    SsoKind,
+    SsoManager,
+    SsoProvider,
+    hash_password,
+    hub_as_identity_provider,
+    job_viewer_allowed,
+    make_provider,
+    verify_password,
+)
+
+
+class TestAccounts:
+    def test_role_capabilities_nest(self):
+        user = Account("u", roles={Role.USER}).capabilities()
+        pi = Account("p", roles={Role.PI}).capabilities()
+        staff = Account("s", roles={Role.CENTER_STAFF}).capabilities()
+        assert user < pi < staff
+
+    def test_duplicate_account_rejected(self):
+        store = AccountStore("inst")
+        store.add(Account("alice"))
+        with pytest.raises(AuthError):
+            store.add(Account("alice"))
+
+    def test_session_capability_enforcement(self):
+        store = AccountStore("inst")
+        store.add(Account("alice", roles={Role.USER}))
+        session = store.open_session("alice", "local")
+        session.require("view_own_jobs")
+        with pytest.raises(AuthError):
+            session.require("view_all_jobs")
+
+    def test_session_expiry(self):
+        store = AccountStore("inst")
+        store.add(Account("alice"))
+        session = store.open_session("alice", "local", ttl_s=-1)
+        assert session.expired
+        with pytest.raises(AuthError):
+            session.require("view_own_jobs")
+
+    def test_job_viewer_acl(self):
+        store = AccountStore("inst")
+        store.add(Account("alice", roles={Role.USER}))
+        store.add(Account("pi01", roles={Role.PI}))
+        store.add(Account("ops", roles={Role.CENTER_STAFF}))
+        alice = store.open_session("alice", "local")
+        pi = store.open_session("pi01", "local")
+        ops = store.open_session("ops", "local")
+        assert job_viewer_allowed(alice, job_owner="alice", job_pi="pi01")
+        assert not job_viewer_allowed(alice, job_owner="bob", job_pi="pi01")
+        assert job_viewer_allowed(pi, job_owner="bob", job_pi="pi01")
+        assert not job_viewer_allowed(pi, job_owner="bob", job_pi="other")
+        assert job_viewer_allowed(ops, job_owner="anyone", job_pi="any")
+
+
+class TestLocalPasswords:
+    def test_hash_and_verify(self):
+        record = hash_password("correct horse battery")
+        assert verify_password("correct horse battery", record)
+        assert not verify_password("wrong", record)
+
+    def test_salts_differ(self):
+        a = hash_password("same password")
+        b = hash_password("same password")
+        assert a.salt != b.salt and a.digest != b.digest
+
+    def test_login_flow(self):
+        store = AccountStore("inst")
+        store.add(Account("alice"))
+        auth = LocalAuthenticator(store)
+        auth.set_password("alice", "s3cret-pass")
+        session = auth.login("alice", "s3cret-pass")
+        assert session.method == "local"
+
+    def test_failures_indistinguishable(self):
+        store = AccountStore("inst")
+        store.add(Account("alice"))
+        auth = LocalAuthenticator(store)
+        auth.set_password("alice", "s3cret-pass")
+        with pytest.raises(AuthError) as wrong_pw:
+            auth.login("alice", "nope-nope")
+        with pytest.raises(AuthError) as no_user:
+            auth.login("ghost", "whatever")
+        assert str(wrong_pw.value) == str(no_user.value)
+
+    def test_short_password_rejected(self):
+        store = AccountStore("inst")
+        store.add(Account("alice"))
+        with pytest.raises(AuthError):
+            LocalAuthenticator(store).set_password("alice", "short")
+
+
+class TestSaml:
+    def _idp_sp(self):
+        idp = IdentityProvider("idp.example.edu")
+        idp.register("alice", {"mail": "alice@example.edu"})
+        sp = ServiceProvider("xdmod.example.edu")
+        sp.trust(idp)
+        return idp, sp
+
+    def test_valid_assertion_accepted(self):
+        idp, sp = self._idp_sp()
+        assertion = idp.issue("alice", "xdmod.example.edu")
+        assert sp.validate(assertion).subject == "alice"
+
+    @pytest.mark.parametrize("field,value", [
+        ("subject", "mallory"),
+        ("audience", "other.example.edu"),
+        ("attributes", {"mail": "mallory@evil"}),
+        ("expires_at", 9999999999.0),
+    ])
+    def test_any_tampering_invalidates_signature(self, field, value):
+        """Invariant 7: a tampered assertion never authenticates."""
+        idp, sp = self._idp_sp()
+        assertion = idp.issue("alice", "xdmod.example.edu")
+        tampered = replace(assertion, **{field: value})
+        with pytest.raises(SamlError):
+            sp.validate(tampered)
+
+    def test_untrusted_issuer_rejected(self):
+        rogue = IdentityProvider("idp.evil.example")
+        rogue.register("alice")
+        _, sp = self._idp_sp()
+        with pytest.raises(SamlError):
+            sp.validate(rogue.issue("alice", "xdmod.example.edu"))
+
+    def test_expired_assertion_rejected(self):
+        idp, sp = self._idp_sp()
+        assertion = idp.issue("alice", "xdmod.example.edu", now=time.time() - 3600)
+        with pytest.raises(SamlError):
+            sp.validate(assertion)
+
+    def test_unknown_principal(self):
+        idp, _ = self._idp_sp()
+        with pytest.raises(SamlError):
+            idp.issue("ghost", "anywhere")
+
+    def test_wire_round_trip(self):
+        idp, sp = self._idp_sp()
+        assertion = idp.issue("alice", "xdmod.example.edu")
+        wire = SamlAssertion.from_dict(assertion.to_dict())
+        sp.validate(wire)
+
+
+class TestSsoManager:
+    def _shibboleth_instance(self):
+        manager = SsoManager("ccr_xdmod")
+        provider = make_provider(SsoKind.SHIBBOLETH, "idp.buffalo.edu")
+        manager.configure_sso(provider)
+        return manager, provider
+
+    def test_local_and_sso_paths_equal_capabilities(self):
+        """Figure 4: groups R and S reach the same instance features."""
+        manager, provider = self._shibboleth_instance()
+        manager.accounts.add(Account("bob", roles={Role.USER}))
+        manager.local.set_password("bob", "longpassword")
+        provider.register_user("bob")
+        local = manager.login_local("bob", "longpassword")
+        sso = manager.login_sso(provider.idp.issue("bob", "ccr_xdmod"))
+        assert local.capabilities == sso.capabilities
+        assert local.method == "local" and sso.method == "shibboleth"
+
+    def test_shibboleth_attributes_prepopulate_account(self):
+        manager, provider = self._shibboleth_instance()
+        provider.register_user("carol", {
+            "givenName": "Carol", "surname": "Chen",
+            "mail": "carol@buffalo.edu", "departmentNumber": "Physics",
+        })
+        manager.login_sso(provider.idp.issue("carol", "ccr_xdmod"))
+        account = manager.accounts.get("carol")
+        assert account.full_name == "Carol Chen"
+        assert account.email == "carol@buffalo.edu"
+        assert account.sso_attributes["departmentNumber"] == "Physics"
+
+    def test_single_source_constraint(self):
+        manager, _ = self._shibboleth_instance()
+        with pytest.raises(AuthError):
+            manager.configure_sso(make_provider(SsoKind.LDAP, "ldap.example"))
+
+    def test_multi_source_future_mode(self):
+        manager = SsoManager("hub", allow_multiple_sources=True)
+        manager.configure_sso(make_provider(SsoKind.SHIBBOLETH, "idp.a"))
+        manager.configure_sso(make_provider(SsoKind.KEYCLOAK, "idp.b"))
+        assert manager.sso_sources == ["idp.a", "idp.b"]
+
+    def test_globus_requires_linkage(self):
+        manager = SsoManager("xsede_xdmod")
+        globus = make_provider(SsoKind.GLOBUS, "auth.globus.org")
+        manager.configure_sso(globus)
+        globus.register_user("uuid-123")
+        with pytest.raises(AuthError):
+            manager.login_sso(globus.idp.issue("uuid-123", "xsede_xdmod"))
+        manager.globus_links.link("uuid-123", "dan")
+        manager.accounts.add(Account("dan"))
+        session = manager.login_sso(globus.idp.issue("uuid-123", "xsede_xdmod"))
+        assert session.username == "dan"
+
+    def test_auto_provision_toggle(self):
+        manager, provider = self._shibboleth_instance()
+        manager.auto_provision = False
+        provider.register_user("eve")
+        with pytest.raises(AuthError):
+            manager.login_sso(provider.idp.issue("eve", "ccr_xdmod"))
+        manager.auto_provision = True
+        session = manager.login_sso(provider.idp.issue("eve", "ccr_xdmod"))
+        assert session.username == "eve"
+
+    def test_hub_as_identity_provider(self):
+        """Section II-D3: 'the federation hub can do the job of
+        authenticating users of the federation's satellite instances.'"""
+        satellites = [SsoManager("site_x"), SsoManager("site_y")]
+        hub_idp = hub_as_identity_provider("hub", satellites)
+        hub_idp.register_user("fred")
+        for manager in satellites:
+            assertion = hub_idp.idp.issue("fred", manager.instance)
+            session = manager.login_sso(assertion)
+            assert session.username == "fred"
+
+    def test_assertion_for_one_satellite_rejected_by_another(self):
+        satellites = [SsoManager("site_x"), SsoManager("site_y")]
+        hub_idp = hub_as_identity_provider("hub", satellites)
+        hub_idp.register_user("fred")
+        assertion = hub_idp.idp.issue("fred", "site_x")
+        with pytest.raises(SamlError):
+            satellites[1].login_sso(assertion)

@@ -1,0 +1,164 @@
+"""Cloud realm extensions: reservations, OS/venue dimensions, state time,
+and the SUPReMM-summary federation preset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregation import Aggregator
+from repro.core import (
+    FederationHub,
+    XdmodInstance,
+    supremm_summary_filter,
+)
+from repro.etl import ingest_cloud_events, ingest_performance
+from repro.realms import cloud_realm
+from repro.simulators import generate_performance_batch
+from repro.timeutil import SECONDS_PER_HOUR, ts
+from repro.warehouse import Database
+
+T0 = ts(2017, 1, 1)
+T_APR = ts(2017, 4, 1)
+
+
+def event(event_id, vm_id, etype, t, *, vcpus=2, mem=2.0, disk=40.0,
+          os="ubuntu16.04", venue="horizon"):
+    return {
+        "event_id": event_id, "vm_id": vm_id, "event_type": etype,
+        "ts": t, "instance_type": f"c{vcpus}", "vcpus": vcpus,
+        "mem_gb": mem, "disk_gb": disk, "user": "u1", "project": "p1",
+        "resource": "cloud", "os": os, "submission_venue": venue,
+    }
+
+
+@pytest.fixture()
+def cloud_schema(cloud_events):
+    schema = Database().create_schema("modw")
+    ingest_cloud_events(schema, cloud_events)
+    Aggregator(schema).aggregate_cloud("month")
+    return schema
+
+
+class TestReservationMetrics:
+    def test_weighted_memory_reservation(self):
+        """1h at 2 GB + 1h at 8 GB running -> 5 GB wall-hour-weighted."""
+        schema = Database().create_schema("modw")
+        events = [
+            event(1, 1, "provision", T0, mem=2.0),
+            event(2, 1, "start", T0, mem=2.0),
+            event(3, 1, "resize", T0 + SECONDS_PER_HOUR, vcpus=8, mem=8.0),
+            event(4, 1, "terminate", T0 + 2 * SECONDS_PER_HOUR, vcpus=8, mem=8.0),
+        ]
+        ingest_cloud_events(schema, events)
+        Aggregator(schema).aggregate_cloud("month")
+        value = cloud_realm().query(
+            schema, "avg_mem_reserved_gb", start=T0, end=T_APR,
+            view="aggregate",
+        ).totals()["total"]
+        assert value == pytest.approx(5.0)
+
+    def test_disk_reservation(self, cloud_schema):
+        value = cloud_realm().query(
+            cloud_schema, "avg_disk_reserved_gb", start=T0, end=T_APR,
+            view="aggregate",
+        ).totals()["total"]
+        assert value > 0
+
+    def test_state_time_metrics(self):
+        schema = Database().create_schema("modw")
+        events = [
+            event(1, 1, "provision", T0),
+            event(2, 1, "start", T0),
+            event(3, 1, "stop", T0 + SECONDS_PER_HOUR),
+            event(4, 1, "start", T0 + 3 * SECONDS_PER_HOUR),
+            event(5, 1, "pause", T0 + 4 * SECONDS_PER_HOUR),
+            event(6, 1, "unpause", T0 + 5 * SECONDS_PER_HOUR),
+            event(7, 1, "terminate", T0 + 6 * SECONDS_PER_HOUR),
+        ]
+        ingest_cloud_events(schema, events)
+        Aggregator(schema).aggregate_cloud("month")
+        realm = cloud_realm()
+        stopped = realm.query(schema, "stopped_hours", start=T0, end=T_APR,
+                              view="aggregate").totals()["total"]
+        paused = realm.query(schema, "paused_hours", start=T0, end=T_APR,
+                             view="aggregate").totals()["total"]
+        changes = realm.query(schema, "n_state_changes", start=T0, end=T_APR,
+                              view="aggregate").totals()["total"]
+        assert stopped == pytest.approx(2.0)
+        assert paused == pytest.approx(1.0)
+        assert changes == 5  # start, stop, start, pause, unpause
+
+
+class TestNewDimensions:
+    def test_os_dimension(self, cloud_schema):
+        by_os = cloud_realm().query(
+            cloud_schema, "core_hours", start=T0, end=T_APR,
+            group_by="os", view="aggregate",
+        ).totals()
+        assert set(by_os) <= {"centos7", "ubuntu16.04", "windows2016"}
+        assert len(by_os) >= 2
+
+    def test_submission_venue_dimension(self, cloud_schema):
+        by_venue = cloud_realm().query(
+            cloud_schema, "n_vms_started", start=T0, end=T_APR,
+            group_by="submission_venue", view="aggregate",
+        ).totals()
+        assert set(by_venue) <= {"horizon", "api", "cli"}
+        assert sum(by_venue.values()) == len(cloud_schema.table("fact_vm"))
+
+    def test_dimension_partition_consistency(self, cloud_schema):
+        """Grouping by any dimension partitions the same total."""
+        realm = cloud_realm()
+        total = realm.query(
+            cloud_schema, "core_hours", start=T0, end=T_APR, view="aggregate",
+        ).totals()["total"]
+        for dimension in ("os", "submission_venue", "memory_level", "project"):
+            parts = realm.query(
+                cloud_schema, "core_hours", start=T0, end=T_APR,
+                group_by=dimension, view="aggregate",
+            ).totals()
+            assert sum(parts.values()) == pytest.approx(total)
+
+    def test_events_without_os_default_unknown(self):
+        schema = Database().create_schema("modw")
+        bare = {
+            k: v for k, v in event(1, 1, "provision", T0).items()
+            if k not in ("os", "submission_venue")
+        }
+        bare2 = {
+            k: v for k, v in event(2, 1, "terminate", T0 + 3600).items()
+            if k not in ("os", "submission_venue")
+        }
+        ingest_cloud_events(schema, [bare, bare2])
+        vm = next(schema.table("fact_vm").rows())
+        assert vm["os"] == "unknown"
+        assert vm["submission_venue"] == "unknown"
+
+
+class TestSupremmSummaryFederation:
+    def test_next_release_filter(self, job_records, small_resource, sacct_log):
+        """Section II-C5's plan: federate summarized performance data but
+        never the raw timeseries."""
+        satellite = XdmodInstance("perf_site")
+        satellite.pipeline.ingest_sacct(
+            sacct_log, default_resource=small_resource.name
+        )
+        batch = generate_performance_batch(
+            job_records, small_resource, max_jobs=10
+        )
+        ingest_performance(satellite.schema, batch)
+
+        hub = FederationHub("hub")
+        hub.join(satellite, filter=supremm_summary_filter())
+        fed = hub.database.schema("fed_perf_site")
+        assert fed.has_table("fact_job_perf")
+        assert len(fed.table("fact_job_perf")) == 10
+        assert not fed.has_table("job_timeseries")
+        assert fed.table("fact_job_perf").checksum() == (
+            satellite.schema.table("fact_job_perf").checksum()
+        )
+
+    def test_filter_composes_with_routing(self):
+        f = supremm_summary_filter(exclude_resources={"secret"})
+        assert f.table_allowed("fact_job_perf")
+        assert "secret" in f.exclude_resources

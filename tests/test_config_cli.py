@@ -1,0 +1,237 @@
+"""Instance configuration bundle and the CLI entry points."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.aggregation import TABLE1_INSTANCE_A
+from repro.cli import main
+from repro.config import (
+    ConfigError,
+    FederationSettings,
+    InstanceConfig,
+    ResourceSettings,
+    SsoSettings,
+    load_config,
+    save_config,
+)
+
+
+class TestConfig:
+    def _config(self) -> InstanceConfig:
+        return InstanceConfig(
+            instance_name="ccr_xdmod",
+            organization="University at Buffalo CCR",
+            resources=(
+                ResourceSettings("ub_hpc", nodes=32, cores_per_node=16,
+                                 conversion_factor=2.1),
+                ResourceSettings("ccr_cloud", resource_type="cloud"),
+            ),
+            aggregation_levels=(TABLE1_INSTANCE_A,),
+            sso=SsoSettings(kind="shibboleth", issuer="idp.buffalo.edu"),
+            federation=FederationSettings(
+                hub="national_hub", mode="tight",
+                exclude_resources=("secure_enclave",),
+            ),
+        )
+
+    def test_round_trip(self, tmp_path):
+        config = self._config()
+        path = save_config(config, tmp_path / "instance.json")
+        loaded = load_config(path)
+        assert loaded.instance_name == config.instance_name
+        assert loaded.resources == config.resources
+        assert loaded.aggregation_levels == config.aggregation_levels
+        assert loaded.sso == config.sso
+        assert loaded.federation == config.federation
+
+    def test_json_is_plain(self, tmp_path):
+        path = save_config(self._config(), tmp_path / "c.json")
+        data = json.loads(path.read_text())
+        assert data["federation"]["hub"] == "national_hub"
+
+    def test_resource_lookup(self):
+        config = self._config()
+        assert config.resource("ub_hpc").nodes == 32
+        with pytest.raises(ConfigError):
+            config.resource("ghost")
+
+    @pytest.mark.parametrize("bad", [
+        {"resource_type": "quantum"},
+        {"conversion_factor": 0.0},
+    ])
+    def test_bad_resource_settings(self, bad):
+        with pytest.raises(ConfigError):
+            ResourceSettings("x", **bad)
+
+    def test_bad_sso_kind(self):
+        with pytest.raises(ConfigError):
+            SsoSettings(kind="carrier_pigeon")
+
+    def test_bad_federation_mode(self):
+        with pytest.raises(ConfigError):
+            FederationSettings(mode="osmosis")
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_config(tmp_path / "nope.json")
+
+    def test_load_bad_levels(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({
+            "instance_name": "x",
+            "aggregation_levels": [{"name": "broken"}],
+        }))
+        with pytest.raises(ConfigError):
+            load_config(path)
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(["demo", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "CPU hours by queue" in out
+
+    def test_simulate_and_shred(self, tmp_path, capsys):
+        log = tmp_path / "jobs.log"
+        assert main([
+            "simulate", "-o", str(log), "--months", "1", "--scale", "0.1",
+        ]) == 0
+        assert main(["shred", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "parsed" in out and "COMPLETED" in out
+
+    def test_validate(self, tmp_path, capsys):
+        good = {
+            "resource": "r", "filesystem": "fs", "mountpoint": "/fs",
+            "resource_type": "scratch", "user": "u", "ts": 0,
+            "file_count": 1, "logical_usage_gb": 1.0,
+            "physical_usage_gb": 1.0,
+        }
+        path = tmp_path / "docs.json"
+        path.write_text(json.dumps([good, {"nope": 1}]))
+        assert main(["validate", str(path)]) == 1
+        assert "1/2 documents valid" in capsys.readouterr().out
+        path.write_text(json.dumps(good))
+        assert main(["validate", str(path)]) == 0
+
+
+class TestCliExtended:
+    def test_report_to_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(["report", "-o", str(out), "--scale", "0.05"]) == 0
+        text = out.read_text()
+        assert "# Monthly Utilization Report" in text
+        assert "CPU hours by queue" in text
+
+    def test_serve_once(self, capsys):
+        assert main(["serve", "--once", "--scale", "0.05", "--port", "0"]) == 0
+        assert "XDMoD API listening" in capsys.readouterr().out
+
+    def test_snapshot_cycle(self, tmp_path, capsys):
+        snap = tmp_path / "snap"
+        assert main(["snapshot", "save", str(snap), "--scale", "0.05"]) == 0
+        assert main(["snapshot", "info", str(snap)]) == 0
+        assert main(["snapshot", "load", str(snap)]) == 0
+        out = capsys.readouterr().out
+        assert "binlog head" in out
+        assert "restored 'demo'" in out
+
+
+class TestConfigApply:
+    def _config(self, hub_name="national_hub"):
+        from repro.aggregation import TABLE1_INSTANCE_B
+
+        return InstanceConfig(
+            instance_name="site_b",
+            resources=(
+                ResourceSettings("res_b", nodes=16, cores_per_node=16,
+                                 conversion_factor=2.0),
+                ResourceSettings("secure_b", conversion_factor=1.0),
+            ),
+            aggregation_levels=(TABLE1_INSTANCE_B,),
+            federation=FederationSettings(
+                hub=hub_name, mode="tight",
+                exclude_resources=("secure_b",),
+            ),
+        )
+
+    def test_build_instance_applies_levels_and_factors(self):
+        from repro.aggregation import TABLE1_INSTANCE_B
+        from repro.config import build_instance
+
+        instance = build_instance(self._config())
+        assert instance.name == "site_b"
+        assert instance.aggregation.walltime_levels == TABLE1_INSTANCE_B
+        assert instance.pipeline.conversion.factor("res_b") == 2.0
+
+    def test_unknown_level_field_rejected(self):
+        from repro.aggregation import AggregationLevel, AggregationLevelSet
+        from repro.config import aggregation_from_config
+
+        bogus = AggregationLevelSet(
+            "x", "gpu_count", "gpus",
+            (AggregationLevel("a", 0, 10),),
+        )
+        config = InstanceConfig("i", aggregation_levels=(bogus,))
+        with pytest.raises(ConfigError):
+            aggregation_from_config(config)
+
+    def test_duplicate_level_field_rejected(self):
+        from repro.aggregation import TABLE1_INSTANCE_A, TABLE1_INSTANCE_B
+        from repro.config import aggregation_from_config
+
+        config = InstanceConfig(
+            "i", aggregation_levels=(TABLE1_INSTANCE_A, TABLE1_INSTANCE_B)
+        )
+        with pytest.raises(ConfigError):
+            aggregation_from_config(config)
+
+    def test_join_federation_from_config(self):
+        from repro.core import FederationHub
+        from repro.config import build_instance, join_federation
+        from repro.etl import ParsedJob, ingest_jobs
+        from repro.timeutil import ts
+
+        config = self._config()
+        instance = build_instance(config)
+        ingest_jobs(instance.schema, [
+            ParsedJob(
+                job_id=i, user="u", pi="p", queue="q", application="a",
+                submit_ts=ts(2017, 3, 1), start_ts=ts(2017, 3, 1, 1),
+                end_ts=ts(2017, 3, 1, 2), nodes=1, cores=2,
+                req_walltime_s=3600, state="COMPLETED", exit_code=0,
+                resource=res,
+            )
+            for i, res in enumerate(("res_b", "secure_b"), start=1)
+        ])
+        hub = FederationHub("national_hub")
+        member = join_federation(hub, instance, config)
+        assert member.mode == "tight"
+        fed = hub.database.schema(member.fed_schema)
+        names = {r["name"] for r in fed.table("dim_resource").rows()}
+        assert names == {"res_b"}  # secure_b excluded per the config
+
+    def test_join_wrong_hub_rejected(self):
+        from repro.core import FederationHub
+        from repro.config import build_instance, join_federation
+
+        config = self._config(hub_name="other_hub")
+        with pytest.raises(ConfigError):
+            join_federation(
+                FederationHub("national_hub"),
+                build_instance(config),
+                config,
+            )
+
+    def test_join_unfederated_rejected(self):
+        from repro.core import FederationHub
+        from repro.config import build_instance, join_federation
+
+        config = InstanceConfig("loner")
+        with pytest.raises(ConfigError):
+            join_federation(
+                FederationHub("hub"), build_instance(config), config
+            )

@@ -1,0 +1,119 @@
+"""Science-gateway attribution and storage quota-threshold metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregation import Aggregator
+from repro.core import XdmodInstance
+from repro.etl import ingest_storage_snapshots
+from repro.realms import jobs_realm, storage_realm
+from repro.simulators import (
+    ResourceSpec,
+    WorkloadConfig,
+    WorkloadGenerator,
+    simulate_resource,
+    to_sacct_log,
+)
+from repro.timeutil import ts
+from repro.warehouse import Database
+from tests.conftest import T0, T_MAR
+
+
+class TestGateways:
+    @pytest.fixture()
+    def gateway_instance(self, small_resource):
+        config = WorkloadConfig(
+            seed=55, jobs_per_day=20, gateway_fraction=0.3,
+            max_cores=small_resource.total_cores,
+        )
+        records = simulate_resource(
+            small_resource,
+            WorkloadGenerator(config).generate(T0, T0 + 10 * 86400),
+        )
+        instance = XdmodInstance("gw_site")
+        instance.pipeline.ingest_sacct(
+            to_sacct_log(records), default_resource=small_resource.name
+        )
+        instance.aggregate(["month"])
+        return instance, records
+
+    def test_gateway_jobs_generated(self, gateway_instance):
+        _, records = gateway_instance
+        gateway_jobs = [r for r in records if r.user.startswith("gw_")]
+        fraction = len(gateway_jobs) / len(records)
+        assert 0.15 < fraction < 0.45  # configured at 0.3
+        assert {r.user for r in gateway_jobs} <= {"gw_nanohub", "gw_cipres"}
+
+    def test_gateway_dimension_labels(self, gateway_instance):
+        instance, _ = gateway_instance
+        by_gateway = jobs_realm().query(
+            instance.schema, "n_jobs_ended",
+            start=T0, end=T_MAR, group_by="gateway", view="aggregate",
+        ).totals()
+        assert "Not a gateway" in by_gateway
+        assert {"nanohub", "cipres"} <= set(by_gateway)
+        total = jobs_realm().query(
+            instance.schema, "n_jobs_ended",
+            start=T0, end=T_MAR, view="aggregate",
+        ).totals()["total"]
+        assert sum(by_gateway.values()) == total
+
+    def test_gateway_accounts_flagged_in_dim_person(self, gateway_instance):
+        instance, _ = gateway_instance
+        rows = {
+            r["username"]: r["gateway_label"]
+            for r in instance.schema.table("dim_person").rows()
+        }
+        assert rows["gw_nanohub"] == "nanohub"
+        non_gateway = [v for k, v in rows.items() if not k.startswith("gw_")]
+        assert set(non_gateway) == {"Not a gateway"}
+
+    def test_no_gateways_by_default(self):
+        config = WorkloadConfig(seed=1, jobs_per_day=20)
+        requests = list(WorkloadGenerator(config).generate(T0, T0 + 86400 * 3))
+        assert not any(r.user.startswith("gw_") for r in requests)
+
+
+class TestQuotaThresholds:
+    def _docs(self):
+        base = {
+            "resource": "store", "filesystem": "fs1", "mountpoint": "/fs1",
+            "resource_type": "persistent",
+        }
+        docs = []
+        for t in (ts(2017, 1, 7), ts(2017, 1, 21)):
+            for user, soft, hard in (("u1", 50.0, 100.0), ("u2", 30.0, 60.0)):
+                docs.append(dict(
+                    base, user=user, ts=t, file_count=100,
+                    logical_usage_gb=10.0, physical_usage_gb=12.0,
+                    soft_quota_gb=soft, hard_quota_gb=hard,
+                ))
+        return docs
+
+    def test_quota_threshold_gauges(self):
+        schema = Database().create_schema("modw")
+        ingest_storage_snapshots(schema, self._docs())
+        Aggregator(schema).aggregate_storage("month")
+        realm = storage_realm()
+        soft = realm.query(
+            schema, "soft_quota_gb", start=T0, end=T_MAR, view="aggregate",
+        ).totals()["total"]
+        hard = realm.query(
+            schema, "hard_quota_gb", start=T0, end=T_MAR, view="aggregate",
+        ).totals()["total"]
+        # per-ts totals: soft 80, hard 160; gauge average over 2 snapshots
+        assert soft == pytest.approx(80.0)
+        assert hard == pytest.approx(160.0)
+        assert hard > soft
+
+    def test_quota_gauges_with_simulator(self, storage_docs):
+        schema = Database().create_schema("modw")
+        ingest_storage_snapshots(schema, storage_docs)
+        Aggregator(schema).aggregate_storage("month")
+        realm = storage_realm()
+        for row in realm.query(
+            schema, "soft_quota_gb", start=T0, end=T_MAR,
+            group_by="filesystem",
+        ).rows:
+            assert row.value > 0

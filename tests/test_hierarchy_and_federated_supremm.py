@@ -1,0 +1,169 @@
+"""Hierarchy/science-field drill-downs and federated SUPReMM summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FederationHub, XdmodInstance, supremm_summary_filter
+from repro.etl import ingest_performance
+from repro.realms import jobs_realm, supremm_realm
+from repro.simulators import (
+    WorkloadConfig,
+    WorkloadGenerator,
+    generate_performance_batch,
+    simulate_resource,
+)
+from repro.timeutil import ts
+from tests.conftest import T0, T_MAR
+
+
+class TestHierarchyDimensions:
+    @pytest.fixture()
+    def instance_with_hierarchy(self, small_resource):
+        config = WorkloadConfig(
+            seed=31, jobs_per_day=12, max_cores=small_resource.total_cores
+        )
+        generator = WorkloadGenerator(config)
+        records = simulate_resource(
+            small_resource, generator.generate(T0, T0 + 10 * 86400)
+        )
+        instance = XdmodInstance(
+            "hier",
+            directory=generator.person_directory(),
+            science_fields=generator.science_fields(),
+        )
+        from repro.simulators import to_sacct_log
+
+        instance.pipeline.ingest_sacct(
+            to_sacct_log(records), default_resource=small_resource.name
+        )
+        instance.aggregate(["month"])
+        return instance
+
+    def test_decanal_unit_partitions_total(self, instance_with_hierarchy):
+        realm = jobs_realm()
+        schema = instance_with_hierarchy.schema
+        total = realm.query(
+            schema, "cpu_hours", start=T0, end=T_MAR, view="aggregate",
+        ).totals()["total"]
+        by_unit = realm.query(
+            schema, "cpu_hours", start=T0, end=T_MAR,
+            group_by="decanal_unit", view="aggregate",
+        ).totals()
+        assert sum(by_unit.values()) == pytest.approx(total)
+        from repro.simulators import DEFAULT_HIERARCHY
+
+        assert set(by_unit) <= {unit for unit, _ in DEFAULT_HIERARCHY}
+
+    def test_department_finer_than_unit(self, instance_with_hierarchy):
+        realm = jobs_realm()
+        schema = instance_with_hierarchy.schema
+        units = realm.query(
+            schema, "n_jobs_ended", start=T0, end=T_MAR,
+            group_by="decanal_unit", view="aggregate",
+        ).groups()
+        departments = realm.query(
+            schema, "n_jobs_ended", start=T0, end=T_MAR,
+            group_by="department", view="aggregate",
+        ).groups()
+        assert len(departments) >= len(units)
+
+    def test_science_field_labels(self, instance_with_hierarchy):
+        realm = jobs_realm()
+        fields = realm.query(
+            instance_with_hierarchy.schema, "xdsu", start=T0, end=T_MAR,
+            group_by="science_field", view="aggregate",
+        ).groups()
+        assert fields
+        from repro.simulators import DEFAULT_APPLICATIONS
+
+        assert set(fields) <= {a.science_field for a in DEFAULT_APPLICATIONS}
+
+    def test_hierarchy_drilldown(self, instance_with_hierarchy):
+        from repro.ui import UsageExplorer
+
+        explorer = UsageExplorer(jobs_realm(), instance_with_hierarchy.schema)
+        explorer.configure("cpu_hours", start=T0, end=T_MAR)
+        explorer.group_by("decanal_unit")
+        units = explorer.fetch().totals()
+        top_unit = max(units, key=units.get)
+        explorer.drill_down(top_unit, "department")
+        departments = explorer.fetch().totals()
+        assert sum(departments.values()) == pytest.approx(units[top_unit])
+
+
+class TestFederatedSupremm:
+    @pytest.fixture()
+    def perf_federation(self, small_resource):
+        from repro.simulators import to_sacct_log
+
+        hub = FederationHub("hub")
+        satellites = []
+        for i in range(2):
+            config = WorkloadConfig(
+                seed=40 + i, jobs_per_day=8,
+                max_cores=small_resource.total_cores,
+            )
+            records = simulate_resource(
+                small_resource,
+                WorkloadGenerator(config).generate(T0, T0 + 7 * 86400),
+            )
+            instance = XdmodInstance(f"perf{i}")
+            instance.pipeline.ingest_sacct(
+                to_sacct_log(records), default_resource=small_resource.name
+            )
+            batch = generate_performance_batch(
+                records, small_resource, max_jobs=15
+            )
+            ingest_performance(instance.schema, batch)
+            hub.join(instance, filter=supremm_summary_filter())
+            satellites.append(instance)
+        return hub, satellites
+
+    def test_summaries_replicate_timeseries_do_not(self, perf_federation):
+        hub, _ = perf_federation
+        for name in ("fed_perf0", "fed_perf1"):
+            schema = hub.database.schema(name)
+            assert schema.has_table("fact_job_perf")
+            assert len(schema.table("fact_job_perf")) == 15
+            assert not schema.has_table("job_timeseries")
+
+    def test_federated_weighted_average(self, perf_federation):
+        hub, satellites = perf_federation
+        realm = supremm_realm()
+        federated = realm.query_federated(
+            hub.federated_schemas(), "avg_cpu_user",
+            start=T0, end=T_MAR,
+        )
+        assert federated.rows
+        # exact merge check: recompute from both satellites' raw facts
+        num = den = 0.0
+        for satellite in satellites:
+            jobs = {
+                (r["resource_id"], r["job_id"]): r
+                for r in satellite.schema.table("fact_job").rows()
+            }
+            for perf in satellite.schema.table("fact_job_perf").rows():
+                job = jobs[(perf["resource_id"], perf["job_id"])]
+                if job["cpu_hours"] > 0:
+                    num += perf["cpu_user_avg"] * job["cpu_hours"]
+                    den += job["cpu_hours"]
+        expected = num / den
+        # collapse to a single period so the one row IS the weighted mean
+        whole = realm.query_federated(
+            hub.federated_schemas(), "avg_cpu_user",
+            start=T0, end=T_MAR, period="year",
+        )
+        assert len(whole.rows) == 1
+        assert whole.rows[0].value == pytest.approx(expected)
+
+    def test_federated_group_by_person(self, perf_federation):
+        hub, _ = perf_federation
+        realm = supremm_realm()
+        result = realm.query_federated(
+            hub.federated_schemas(), "avg_mem_used_gb",
+            start=T0, end=T_MAR, group_by="person",
+        )
+        assert result.rows
+        for row in result.rows:
+            assert row.value >= 0

@@ -1,0 +1,198 @@
+"""End-to-end scenario tests mirroring the paper's figures.
+
+These are slower integration tests: full year-or-quarter pipelines through
+ingest -> replication -> hub aggregation -> realm queries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregation import (
+    AggregationConfig,
+    TABLE1_FEDERATION_HUB,
+    TABLE1_INSTANCE_A,
+    TABLE1_INSTANCE_B,
+)
+from repro.core import (
+    FederationHub,
+    XdmodInstance,
+    check_federation,
+    standardize_federation,
+)
+from repro.realms import cloud_realm, jobs_realm, storage_realm
+from repro.simulators import (
+    CloudConfig,
+    CloudSimulator,
+    StorageConfig,
+    StorageSimulator,
+    WorkloadGenerator,
+    figure1_sites,
+    simulate_resource,
+    to_sacct_log,
+)
+from repro.timeutil import ts
+from repro.ui import ChartBuilder
+
+
+@pytest.fixture(scope="module")
+def figure1_federation():
+    """Three satellites (comet/stampede2/stampede shapes) over H1 2017."""
+    sites = figure1_sites(scale=0.15)
+    conversion, _ = standardize_federation(
+        {name: preset.resource for name, preset in sites.items()}
+    )
+    hub = FederationHub("hub", conversion=conversion)
+    start, end = ts(2017, 1, 1), ts(2017, 7, 1)
+    satellites = {}
+    for name, preset in sites.items():
+        instance = XdmodInstance(f"site_{name}", conversion=conversion)
+        records = simulate_resource(
+            preset.resource,
+            WorkloadGenerator(preset.workload).generate(start, end),
+        )
+        instance.pipeline.ingest_sacct(
+            to_sacct_log(records), default_resource=name
+        )
+        satellites[name] = instance
+        hub.join(instance, mode="tight")
+    hub.aggregate_federation(["month"])
+    return hub, satellites, (start, end)
+
+
+class TestFigure1Scenario:
+    def test_consistency_end_to_end(self, figure1_federation):
+        hub, _, _ = figure1_federation
+        assert check_federation(hub, strict=True).ok
+
+    def test_three_resources_ranked(self, figure1_federation):
+        hub, _, (start, end) = figure1_federation
+        result = jobs_realm().query(
+            hub.federated_schemas(), "xdsu",
+            start=start, end=end, group_by="resource",
+        )
+        top = result.top(3)
+        assert len(top) == 3
+        names = [n for n, _ in top]
+        assert set(names) == {"comet", "stampede2", "stampede"}
+
+    def test_stampede_transition_visible(self, figure1_federation):
+        """Stampede declines over H1 while Stampede2 ramps up."""
+        hub, _, (start, end) = figure1_federation
+        series = jobs_realm().query(
+            hub.federated_schemas(), "xdsu",
+            start=start, end=end, group_by="resource",
+        ).series()
+        stampede = [v or 0 for _, v in series["stampede"]]
+        stampede2 = [v or 0 for _, v in series["stampede2"]]
+        assert stampede[-1] < stampede[0]
+        assert stampede2[-1] > stampede2[0]
+
+    def test_chart_builder_top3(self, figure1_federation):
+        hub, _, (start, end) = figure1_federation
+        chart = ChartBuilder(jobs_realm(), hub.federated_schemas()).timeseries(
+            "xdsu", start=start, end=end, group_by="resource", top_n=3,
+            title="Figure 1",
+        )
+        assert len(chart.series) == 3
+        assert len(chart.series[0].points) == 6  # six months
+
+
+class TestTable1Scenario:
+    def test_per_instance_levels_with_hub_superset(self):
+        """Instances A and B aggregate with their own wall-time levels;
+        the hub re-aggregates the same raw data under Table I's hub bins
+        without changing totals."""
+        conversion, _ = standardize_federation({})
+        instance_a = XdmodInstance(
+            "instance_a",
+            aggregation=AggregationConfig(walltime_levels=TABLE1_INSTANCE_A),
+        )
+        instance_b = XdmodInstance(
+            "instance_b",
+            aggregation=AggregationConfig(walltime_levels=TABLE1_INSTANCE_B),
+        )
+        from repro.etl import ParsedJob
+
+        def jobs_for(resource, walltimes_h):
+            return [
+                ParsedJob(
+                    job_id=i + 1, user=f"u{i}", pi="p", queue="q",
+                    application="a", submit_ts=ts(2017, 3, 1),
+                    start_ts=ts(2017, 3, 1, 1),
+                    end_ts=ts(2017, 3, 1, 1) + int(h * 3600),
+                    nodes=1, cores=2, req_walltime_s=int(h * 3600) + 60,
+                    state="COMPLETED", exit_code=0, resource=resource,
+                )
+                for i, h in enumerate(walltimes_h)
+            ]
+
+        # A's resources have a 5h limit; B's a 50h limit
+        instance_a.pipeline.ingest_parsed_jobs(jobs_for("res_a", [0.01, 0.5, 3]))
+        instance_b.pipeline.ingest_parsed_jobs(jobs_for("res_b", [8, 15, 40]))
+        instance_a.aggregate(["month"])
+        instance_b.aggregate(["month"])
+
+        a_levels = {
+            r["walltime_level"]
+            for r in instance_a.schema.table("agg_job_month").rows()
+        }
+        b_levels = {
+            r["walltime_level"]
+            for r in instance_b.schema.table("agg_job_month").rows()
+        }
+        assert a_levels == set(TABLE1_INSTANCE_A.labels)
+        assert b_levels == set(TABLE1_INSTANCE_B.labels)
+
+        hub = FederationHub(
+            "hub",
+            aggregation=AggregationConfig(walltime_levels=TABLE1_FEDERATION_HUB),
+        )
+        hub.join(instance_a)
+        hub.join(instance_b)
+        hub.aggregate_federation(["month"])
+        hub_levels = set()
+        total_jobs = 0
+        for schema in hub.federated_schemas().values():
+            for row in schema.table("agg_job_month").rows():
+                hub_levels.add(row["walltime_level"])
+                total_jobs += row["n_jobs_ended"]
+        assert hub_levels <= set(TABLE1_FEDERATION_HUB.labels)
+        assert total_jobs == 6  # no data lost or changed
+
+
+class TestHeterogeneousRealmsFederation:
+    def test_cloud_and_storage_realms_federate(self):
+        """Section III: cloud + storage instances in one federation (the
+        Aristotle pattern), using an all-realms replication filter."""
+        from repro.core import ReplicationFilter
+
+        hub = FederationHub("aristotle_hub")
+        start, end = ts(2017, 1, 1), ts(2017, 4, 1)
+        for i, site in enumerate(("ccr", "cornell", "ucsb")):
+            instance = XdmodInstance(f"cloud_{site}")
+            events = CloudSimulator(
+                CloudConfig(resource=f"{site}_cloud", seed=30 + i, vms_per_day=3)
+            ).generate(start, end)
+            instance.pipeline.ingest_cloud(events)
+            docs = StorageSimulator(
+                StorageConfig(resource=f"{site}_storage", seed=30 + i, n_users=6)
+            ).generate(start, end)
+            instance.pipeline.ingest_storage(docs)
+            hub.join(instance, filter=ReplicationFilter(tables=None))
+        hub.aggregate_federation(["month"])
+
+        core_hours = cloud_realm().query(
+            hub.federated_schemas(), "core_hours",
+            start=start, end=end, group_by="resource", view="aggregate",
+        ).totals()
+        assert set(core_hours) == {
+            "ccr_cloud", "cornell_cloud", "ucsb_cloud",
+        }
+        usage = storage_realm().query(
+            hub.federated_schemas(), "physical_usage_gb",
+            start=start, end=end, group_by="resource", view="aggregate",
+        ).totals()
+        assert set(usage) == {
+            "ccr_storage", "cornell_storage", "ucsb_storage",
+        }

@@ -1,0 +1,121 @@
+"""Mini JSON-Schema validator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.etl import JsonSchemaError, is_valid, validate
+
+
+class TestTypes:
+    @pytest.mark.parametrize(
+        "schema,ok,bad",
+        [
+            ({"type": "string"}, "x", 5),
+            ({"type": "integer"}, 3, 3.5),
+            ({"type": "number"}, 3.5, "3.5"),
+            ({"type": "boolean"}, True, 1),
+            ({"type": "object"}, {}, []),
+            ({"type": "array"}, [], {}),
+            ({"type": "null"}, None, 0),
+        ],
+    )
+    def test_type_dispatch(self, schema, ok, bad):
+        validate(ok, schema)
+        with pytest.raises(JsonSchemaError):
+            validate(bad, schema)
+
+    def test_bool_is_not_integer(self):
+        with pytest.raises(JsonSchemaError):
+            validate(True, {"type": "integer"})
+        with pytest.raises(JsonSchemaError):
+            validate(True, {"type": "number"})
+
+    def test_union_types(self):
+        schema = {"type": ["string", "null"]}
+        validate("x", schema)
+        validate(None, schema)
+        with pytest.raises(JsonSchemaError):
+            validate(3, schema)
+
+
+class TestNumericBounds:
+    def test_minimum_maximum_inclusive(self):
+        schema = {"type": "number", "minimum": 0, "maximum": 10}
+        validate(0, schema)
+        validate(10, schema)
+        with pytest.raises(JsonSchemaError):
+            validate(-0.1, schema)
+        with pytest.raises(JsonSchemaError):
+            validate(10.5, schema)
+
+    def test_exclusive_bounds(self):
+        schema = {"exclusiveMinimum": 0, "exclusiveMaximum": 1}
+        validate(0.5, schema)
+        with pytest.raises(JsonSchemaError):
+            validate(0, schema)
+        with pytest.raises(JsonSchemaError):
+            validate(1, schema)
+
+
+class TestStrings:
+    def test_length_bounds(self):
+        schema = {"type": "string", "minLength": 2, "maxLength": 4}
+        validate("ab", schema)
+        with pytest.raises(JsonSchemaError):
+            validate("a", schema)
+        with pytest.raises(JsonSchemaError):
+            validate("abcde", schema)
+
+    def test_pattern(self):
+        schema = {"type": "string", "pattern": "^/"}
+        validate("/scratch", schema)
+        with pytest.raises(JsonSchemaError):
+            validate("scratch", schema)
+
+    def test_enum(self):
+        schema = {"enum": ["a", "b"]}
+        validate("a", schema)
+        with pytest.raises(JsonSchemaError):
+            validate("c", schema)
+
+
+class TestObjectsAndArrays:
+    SCHEMA = {
+        "type": "object",
+        "required": ["name"],
+        "additionalProperties": False,
+        "properties": {
+            "name": {"type": "string"},
+            "sizes": {"type": "array", "items": {"type": "integer"}, "minItems": 1},
+        },
+    }
+
+    def test_required_enforced(self):
+        with pytest.raises(JsonSchemaError) as exc:
+            validate({}, self.SCHEMA)
+        assert "name" in str(exc.value)
+
+    def test_additional_properties_false(self):
+        with pytest.raises(JsonSchemaError):
+            validate({"name": "x", "extra": 1}, self.SCHEMA)
+
+    def test_nested_items_path_in_error(self):
+        with pytest.raises(JsonSchemaError) as exc:
+            validate({"name": "x", "sizes": [1, "two"]}, self.SCHEMA)
+        assert "/sizes/1" in str(exc.value)
+
+    def test_min_items(self):
+        with pytest.raises(JsonSchemaError):
+            validate({"name": "x", "sizes": []}, self.SCHEMA)
+
+    def test_additional_properties_schema(self):
+        schema = {"type": "object", "additionalProperties": {"type": "integer"}}
+        validate({"a": 1, "b": 2}, schema)
+        with pytest.raises(JsonSchemaError):
+            validate({"a": "nope"}, schema)
+
+    def test_valid_document(self):
+        validate({"name": "x", "sizes": [1, 2]}, self.SCHEMA)
+        assert is_valid({"name": "x"}, self.SCHEMA)
+        assert not is_valid({"nope": 1}, self.SCHEMA)

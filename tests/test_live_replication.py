@@ -1,0 +1,66 @@
+"""Live (threaded) replication daemon."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import LiveReplicator
+from repro.etl import ParsedJob, ingest_jobs
+from repro.timeutil import ts
+
+
+def make_job(job_id):
+    return ParsedJob(
+        job_id=job_id, user="u", pi="p", queue="q", application="a",
+        submit_ts=ts(2017, 6, 1), start_ts=ts(2017, 6, 1, 1),
+        end_ts=ts(2017, 6, 1, 2), nodes=1, cores=2, req_walltime_s=3600,
+        state="COMPLETED", exit_code=0, resource="r1",
+    )
+
+
+class TestLiveReplicator:
+    def test_background_sync_drains_lag(self, federation):
+        hub, satellites, _, _ = federation
+        with LiveReplicator(hub, interval_s=0.01) as live:
+            ingest_jobs(satellites["site0"].schema,
+                        [make_job(5000 + i) for i in range(20)])
+            assert live.wait_until_current(timeout=5.0)
+        assert hub.lag() == {"site0": 0, "site1": 0}
+        fed = hub.database.schema("fed_site0")
+        assert fed.table("fact_job").checksum() == (
+            satellites["site0"].schema.table("fact_job").checksum()
+        )
+
+    def test_stop_drains_by_default(self, federation):
+        hub, satellites, _, _ = federation
+        live = LiveReplicator(hub, interval_s=60.0).start()  # long interval
+        ingest_jobs(satellites["site0"].schema, [make_job(6001)])
+        live.stop()  # final drain happens here
+        assert hub.lag()["site0"] == 0
+
+    def test_double_start_rejected(self, federation):
+        hub, _, _, _ = federation
+        live = LiveReplicator(hub, interval_s=0.05).start()
+        try:
+            with pytest.raises(RuntimeError):
+                live.start()
+        finally:
+            live.stop()
+        assert not live.running
+
+    def test_bad_interval(self, federation):
+        hub, _, _, _ = federation
+        with pytest.raises(ValueError):
+            LiveReplicator(hub, interval_s=0)
+
+    def test_stats_accumulate(self, federation):
+        hub, satellites, _, _ = federation
+        with LiveReplicator(hub, interval_s=0.01) as live:
+            ingest_jobs(satellites["site1"].schema, [make_job(7001)])
+            live.wait_until_current(timeout=5.0)
+            time.sleep(0.05)
+        assert live.stats.cycles > 0
+        assert live.stats.events_applied >= 1
+        assert live.stats.errors == 0

@@ -1,0 +1,95 @@
+"""Loose federation: dump shipping, staleness, handover to tight."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LooseChannel, ReplicationFilter
+from repro.etl import ParsedJob, ingest_jobs
+from repro.timeutil import ts
+from repro.warehouse import Database
+
+
+def make_job(job_id, resource="r1"):
+    return ParsedJob(
+        job_id=job_id, user="u", pi="p", queue="q", application="a",
+        submit_ts=ts(2017, 1, 1), start_ts=ts(2017, 1, 1, 1),
+        end_ts=ts(2017, 1, 1, 3), nodes=1, cores=2, req_walltime_s=7200,
+        state="COMPLETED", exit_code=0, resource=resource,
+    )
+
+
+@pytest.fixture()
+def satellite_schema():
+    schema = Database("sat").create_schema("modw")
+    ingest_jobs(schema, [make_job(i) for i in range(8)])
+    return schema
+
+
+class TestLooseChannel:
+    def test_ship_copies_data(self, satellite_schema):
+        hub_db = Database("hub")
+        channel = LooseChannel(satellite_schema, hub_db, "fed_sat")
+        shipped = channel.ship()
+        assert shipped.name == "fed_sat"
+        assert shipped.table("fact_job").checksum() == (
+            satellite_schema.table("fact_job").checksum()
+        )
+        assert channel.shipments == 1
+
+    def test_staleness_tracks_new_commits(self, satellite_schema):
+        hub_db = Database("hub")
+        channel = LooseChannel(satellite_schema, hub_db, "fed_sat")
+        assert channel.staleness > 0  # never shipped yet
+        channel.ship()
+        assert channel.staleness == 0
+        ingest_jobs(satellite_schema, [make_job(100)])
+        assert channel.staleness == 1
+
+    def test_reship_replaces_previous_dump(self, satellite_schema):
+        hub_db = Database("hub")
+        channel = LooseChannel(satellite_schema, hub_db, "fed_sat")
+        channel.ship()
+        ingest_jobs(satellite_schema, [make_job(100)])
+        channel.ship()
+        assert len(hub_db.schema("fed_sat").table("fact_job")) == 9
+
+    def test_filter_applies_to_dump(self, satellite_schema):
+        ingest_jobs(satellite_schema, [make_job(50, resource="secret")])
+        hub_db = Database("hub")
+        channel = LooseChannel(
+            satellite_schema, hub_db, "fed_sat",
+            filter=ReplicationFilter(exclude_resources={"secret"}),
+        )
+        shipped = channel.ship()
+        assert {r["name"] for r in shipped.table("dim_resource").rows()} == {"r1"}
+        assert len(shipped.table("fact_job")) == 8
+        # bookkeeping tables never ship
+        assert not shipped.has_table("etl_markers")
+
+    def test_ship_via_file(self, satellite_schema, tmp_path):
+        hub_db = Database("hub")
+        channel = LooseChannel(satellite_schema, hub_db, "fed_sat")
+        shipped = channel.ship_via_file(tmp_path / "sat.dump.gz")
+        assert (tmp_path / "sat.dump.gz").exists()
+        assert shipped.table("fact_job").checksum() == (
+            satellite_schema.table("fact_job").checksum()
+        )
+
+    def test_to_tight_resumes_without_gap_or_overlap(self, satellite_schema):
+        """The heterogeneous model: start loose, upgrade to tight."""
+        hub_db = Database("hub")
+        loose = LooseChannel(satellite_schema, hub_db, "fed_sat")
+        loose.ship()
+        ingest_jobs(satellite_schema, [make_job(100), make_job(101)])
+        tight = loose.to_tight()
+        applied = tight.catch_up()
+        assert applied == 2  # exactly the two new fact rows
+        hub_fact = hub_db.schema("fed_sat").table("fact_job")
+        assert len(hub_fact) == 10
+        assert hub_fact.checksum() == satellite_schema.table("fact_job").checksum()
+
+    def test_to_tight_before_ship_rejected(self, satellite_schema):
+        channel = LooseChannel(satellite_schema, Database("hub"), "fed_sat")
+        with pytest.raises(RuntimeError):
+            channel.to_tight()

@@ -1,0 +1,126 @@
+"""Federation monitor and database persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FederationMonitor
+from repro.etl import ParsedJob, ingest_jobs
+from repro.timeutil import ts
+from repro.warehouse import (
+    Database,
+    DumpError,
+    load_database,
+    save_database,
+    snapshot_info,
+)
+
+
+def make_job(job_id):
+    return ParsedJob(
+        job_id=job_id, user="u", pi="p", queue="q", application="a",
+        submit_ts=ts(2017, 5, 1), start_ts=ts(2017, 5, 1, 1),
+        end_ts=ts(2017, 5, 1, 2), nodes=1, cores=2, req_walltime_s=3600,
+        state="COMPLETED", exit_code=0, resource="r1",
+    )
+
+
+class TestFederationMonitor:
+    def test_healthy_status(self, federation):
+        hub, satellites, _, _ = federation
+        status = FederationMonitor(hub).status()
+        assert status.hub == "hub"
+        assert len(status.members) == 2
+        assert status.all_consistent
+        assert status.max_lag == 0
+        assert status.degraded_members == ()
+        for member in status.members:
+            assert member.consistent
+            assert member.fact_job_rows > 0
+
+    def test_lag_surfaces(self, federation):
+        hub, satellites, _, _ = federation
+        ingest_jobs(satellites["site0"].schema, [make_job(7777)])
+        status = FederationMonitor(hub).status()
+        assert status.max_lag > 0
+        assert "site0" in status.degraded_members
+
+    def test_inconsistency_surfaces(self, federation):
+        hub, _, _, _ = federation
+        hub.database.schema("fed_site0").table("fact_job").update_where(
+            lambda r: True, {"cpu_hours": 0.0}
+        )
+        status = FederationMonitor(hub).status()
+        assert not status.all_consistent
+
+    def test_render_panel(self, federation):
+        hub, _, _, _ = federation
+        text = FederationMonitor(hub).render()
+        assert "Federation hub: hub" in text
+        assert "site0" in text and "site1" in text
+        assert "consistency: OK" in text
+
+
+class TestPersistence:
+    def _database(self):
+        db = Database("ccr")
+        schema = db.create_schema("modw")
+        ingest_jobs(schema, [make_job(i) for i in range(10)])
+        db.create_schema("modw_aggregates")
+        return db
+
+    def test_save_load_round_trip(self, tmp_path):
+        db = self._database()
+        save_database(db, tmp_path / "snap")
+        loaded = load_database(tmp_path / "snap")
+        assert loaded.name == "ccr"
+        assert loaded.schema_names() == db.schema_names()
+        assert loaded.schema("modw").checksum() == db.schema("modw").checksum()
+
+    def test_snapshot_info(self, tmp_path):
+        db = self._database()
+        save_database(db, tmp_path / "snap")
+        info = snapshot_info(tmp_path / "snap")
+        assert info["database"] == "ccr"
+        assert {s["name"] for s in info["schemas"]} == {
+            "modw", "modw_aggregates",
+        }
+
+    def test_resave_overwrites(self, tmp_path):
+        db = self._database()
+        save_database(db, tmp_path / "snap")
+        ingest_jobs(db.schema("modw"), [make_job(99)])
+        save_database(db, tmp_path / "snap")
+        loaded = load_database(tmp_path / "snap")
+        assert len(loaded.schema("modw").table("fact_job")) == 11
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(DumpError):
+            load_database(tmp_path)
+        with pytest.raises(DumpError):
+            snapshot_info(tmp_path)
+
+    def test_corrupt_manifest(self, tmp_path):
+        db = self._database()
+        path = save_database(db, tmp_path / "snap")
+        (path / "manifest.json").write_text("{broken")
+        with pytest.raises(DumpError):
+            load_database(path)
+
+    def test_tampered_dump_detected(self, tmp_path):
+        db = self._database()
+        path = save_database(db, tmp_path / "snap")
+        import gzip
+        import json
+
+        dump_file = path / "modw.dump.gz"
+        dump = json.loads(gzip.decompress(dump_file.read_bytes()))
+        for entry in dump["tables"]:
+            if entry["schema"]["name"] == "fact_job":
+                entry["rows"][0][0] = 424242
+        dump_file.write_bytes(gzip.compress(json.dumps(dump).encode()))
+        with pytest.raises(DumpError):
+            load_database(path)
+        # verify=False loads anyway (forensics path)
+        loaded = load_database(path, verify=False)
+        assert loaded.schema("modw").has_table("fact_job")

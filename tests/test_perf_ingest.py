@@ -1,0 +1,91 @@
+"""SUPReMM ingestion and the performance simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.etl import HEAVY_TABLES, ingest_performance
+from repro.simulators import (
+    PERF_METRICS,
+    generate_job_performance,
+    generate_performance_batch,
+    render_job_script,
+)
+from repro.warehouse import Database
+
+
+class TestPerfSimulator:
+    def test_nine_metrics_present(self, job_records, small_resource):
+        record = next(r for r in job_records if r.walltime_s > 3600)
+        perf = generate_job_performance(record, small_resource)
+        assert set(perf.series) == set(PERF_METRICS)
+        assert len(PERF_METRICS) == 9  # the paper's count
+
+    def test_series_lengths_match_walltime(self, job_records, small_resource):
+        record = next(r for r in job_records if r.walltime_s > 3600)
+        perf = generate_job_performance(record, small_resource, interval_s=300)
+        expected = max(2, record.walltime_s // 300)
+        assert len(perf.timestamps) == expected
+        for values in perf.series.values():
+            assert len(values) == expected
+
+    def test_bounded_values(self, job_records, small_resource):
+        record = next(r for r in job_records if r.walltime_s > 1800)
+        perf = generate_job_performance(record, small_resource)
+        cpu = perf.series["cpu_user"] + perf.series["cpu_system"]
+        assert np.all(cpu <= 1.0 + 1e-9)
+        assert np.all(perf.series["mem_used_gb"] <= small_resource.mem_per_node_gb)
+        for values in perf.series.values():
+            assert np.all(values >= 0)
+
+    def test_deterministic_given_job(self, job_records, small_resource):
+        record = job_records[0] if job_records[0].walltime_s else job_records[1]
+        a = generate_job_performance(record, small_resource)
+        b = generate_job_performance(record, small_resource)
+        for name in PERF_METRICS:
+            assert np.array_equal(a.series[name], b.series[name])
+
+    def test_job_script_mentions_geometry(self, job_records):
+        record = next(r for r in job_records if r.walltime_s > 0)
+        script = render_job_script(record)
+        assert f"--ntasks={record.cores}" in script
+        assert f"--account={record.pi}" in script
+        assert script.startswith("#!/bin/bash")
+
+    def test_batch_skips_never_started(self, job_records, small_resource):
+        batch = generate_performance_batch(job_records, small_resource, max_jobs=50)
+        assert all(p.job_id for p in batch)
+        started = [r for r in job_records if r.walltime_s > 0]
+        assert len(batch) == min(50, len(started))
+
+    def test_summary_stats(self, job_records, small_resource):
+        record = next(r for r in job_records if r.walltime_s > 3600)
+        perf = generate_job_performance(record, small_resource)
+        summary = perf.summary()
+        for metric in PERF_METRICS:
+            assert summary[f"{metric}_avg"] <= summary[f"{metric}_max"] + 1e-12
+
+
+class TestPerfIngest:
+    def test_ingest_creates_fact_and_timeseries(self, job_records, small_resource):
+        schema = Database().create_schema("modw")
+        batch = generate_performance_batch(job_records, small_resource, max_jobs=10)
+        n = ingest_performance(schema, batch)
+        assert n == 10
+        assert len(schema.table("fact_job_perf")) == 10
+        assert len(schema.table("job_timeseries")) == 10
+        row = next(schema.table("job_timeseries").rows())
+        assert set(row["series"]) == set(PERF_METRICS)
+        assert row["job_script"].startswith("#!")
+
+    def test_reingest_upserts(self, job_records, small_resource):
+        schema = Database().create_schema("modw")
+        batch = generate_performance_batch(job_records, small_resource, max_jobs=5)
+        ingest_performance(schema, batch)
+        ingest_performance(schema, batch)
+        assert len(schema.table("fact_job_perf")) == 5
+
+    def test_timeseries_marked_heavy(self):
+        """The table federation must never replicate (Section II-C5)."""
+        assert "job_timeseries" in HEAVY_TABLES

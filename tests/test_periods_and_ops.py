@@ -1,0 +1,136 @@
+"""Quarter/year periods, loose-member ops, report aggregate view."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FederationMonitor
+from repro.etl import ingest_jobs
+from repro.realms import jobs_realm
+from repro.simulators import WorkloadConfig, WorkloadGenerator
+from repro.timeutil import ts
+from repro.ui import ChartBuilder, ChartSpec, ReportDefinition, ReportGenerator
+from tests.conftest import T0, build_two_site_federation
+
+END = ts(2018, 1, 1)
+
+
+class TestCoarsePeriods:
+    @pytest.fixture()
+    def quarterly_instance(self, instance):
+        instance.aggregate(["quarter", "year"])
+        return instance
+
+    def test_quarter_labels(self, quarterly_instance):
+        result = jobs_realm().query(
+            quarterly_instance.schema, "cpu_hours",
+            start=T0, end=END, period="quarter",
+        )
+        labels = {r.period_label for r in result.rows}
+        assert labels == {"2017 Q1"}  # two weeks of January data
+
+    def test_year_conserves_quarters(self, quarterly_instance):
+        realm = jobs_realm()
+        quarters = realm.query(
+            quarterly_instance.schema, "cpu_hours",
+            start=T0, end=END, period="quarter",
+        ).totals()["total"]
+        years = realm.query(
+            quarterly_instance.schema, "cpu_hours",
+            start=T0, end=END, period="year",
+        ).totals()["total"]
+        assert years == pytest.approx(quarters)
+
+    def test_quarterly_chart(self, quarterly_instance):
+        chart = ChartBuilder(jobs_realm(), quarterly_instance.schema).timeseries(
+            "n_jobs_ended", start=T0, end=END, period="quarter",
+        )
+        assert chart.series[0].points[0][0] == "2017 Q1"
+
+
+class TestLooseMemberOps:
+    def test_monitor_reports_loose_staleness(self):
+        hub, satellites, _, _ = build_two_site_federation(mode_b="loose")
+        from repro.etl import ParsedJob
+
+        ingest_jobs(satellites["site1"].schema, [
+            ParsedJob(
+                job_id=9999, user="u", pi="p", queue="q", application="a",
+                submit_ts=ts(2017, 2, 1), start_ts=ts(2017, 2, 1, 1),
+                end_ts=ts(2017, 2, 1, 2), nodes=1, cores=2,
+                req_walltime_s=3600, state="COMPLETED", exit_code=0,
+                resource="beta_cluster",
+            )
+        ])
+        monitor = FederationMonitor(hub)
+        status = monitor.status()
+        loose = next(m for m in status.members if m.name == "site1")
+        assert loose.mode == "loose"
+        assert loose.lag_events > 0
+        hub.ship_loose()
+        status = monitor.status()
+        loose = next(m for m in status.members if m.name == "site1")
+        assert loose.lag_events == 0
+        assert "loose" in monitor.render()
+
+    def test_ship_via_file_through_hub(self, tmp_path):
+        hub, satellites, _, _ = build_two_site_federation(mode_b="loose")
+        member = hub.member("site1")
+        shipped = member.loose_channel.ship_via_file(tmp_path / "site1.dump.gz")
+        assert (tmp_path / "site1.dump.gz").exists()
+        assert shipped.table("fact_job").checksum() == (
+            satellites["site1"].schema.table("fact_job").checksum()
+        )
+
+
+class TestReportAggregateView:
+    def test_aggregate_chart_spec(self, aggregated_instance):
+        definition = ReportDefinition(
+            name="agg", title="Aggregate",
+            charts=(
+                ChartSpec("Jobs by queue (whole range)", "n_jobs_ended",
+                          group_by="queue", view="aggregate"),
+            ),
+        )
+        report = ReportGenerator(
+            ChartBuilder(jobs_realm(), aggregated_instance.schema)
+        ).generate(definition, start=T0, end=END)
+        chart = report.charts[0]
+        assert chart.view == "aggregate"
+        assert all(len(s.points) == 1 for s in chart.series)
+
+    def test_filtered_chart_spec(self, aggregated_instance):
+        definition = ReportDefinition(
+            name="filtered", title="Filtered",
+            charts=(
+                ChartSpec("Normal queue only", "cpu_hours",
+                          group_by="queue", filters={"queue": ("normal",)}),
+            ),
+        )
+        report = ReportGenerator(
+            ChartBuilder(jobs_realm(), aggregated_instance.schema)
+        ).generate(definition, start=T0, end=END)
+        assert report.charts[0].labels == ["normal"]
+
+
+class TestWorkloadEdges:
+    def test_zero_envelope_generates_nothing(self):
+        config = WorkloadConfig(
+            seed=1, jobs_per_day=50,
+            monthly_activity=tuple([0.0] * 12),
+        )
+        requests = list(
+            WorkloadGenerator(config).generate(T0, T0 + 30 * 86400)
+        )
+        assert requests == []
+
+    def test_degenerate_window(self):
+        generator = WorkloadGenerator(WorkloadConfig(seed=1))
+        assert list(generator.generate(T0, T0)) == []
+
+    def test_directory_covers_all_request_users(self):
+        generator = WorkloadGenerator(WorkloadConfig(seed=2, jobs_per_day=30))
+        directory = generator.person_directory()
+        for request in generator.generate(T0, T0 + 5 * 86400):
+            assert request.user in directory
+            assert directory[request.user].pi == request.pi

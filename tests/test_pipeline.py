@@ -1,0 +1,66 @@
+"""Ingest pipeline orchestration and high-water markers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.etl import IngestPipeline, WAREHOUSE_SCHEMA
+from repro.simulators import (
+    CloudConfig,
+    CloudSimulator,
+    StorageConfig,
+    StorageSimulator,
+    generate_performance_batch,
+)
+from repro.timeutil import ts
+from repro.warehouse import Database
+
+T0 = ts(2017, 1, 1)
+T1 = ts(2017, 2, 1)
+
+
+class TestPipeline:
+    def test_creates_warehouse_schema(self):
+        db = Database()
+        IngestPipeline(db)
+        assert db.has_schema(WAREHOUSE_SCHEMA)
+
+    def test_sacct_ingest_and_marker(self, sacct_log, job_records):
+        pipe = IngestPipeline(Database())
+        n = pipe.ingest_sacct(sacct_log, default_resource="testcluster")
+        assert n == len(job_records)
+        assert pipe.high_water("jobs") == max(r.end_ts for r in job_records)
+
+    def test_incremental_reingest_adds_nothing(self, sacct_log):
+        pipe = IngestPipeline(Database())
+        pipe.ingest_sacct(sacct_log, default_resource="testcluster")
+        assert pipe.ingest_sacct(sacct_log, default_resource="testcluster") == 0
+
+    def test_marker_accumulates_counts(self, sacct_log, job_records):
+        pipe = IngestPipeline(Database())
+        pipe.ingest_sacct(sacct_log, default_resource="testcluster")
+        pipe.ingest_sacct(sacct_log, default_resource="testcluster")
+        marker = pipe.schema.table("etl_markers").get(("jobs",))
+        assert marker["records_total"] == len(job_records)
+
+    def test_full_run_report(self, sacct_log, job_records, small_resource):
+        pipe = IngestPipeline(Database())
+        cloud = CloudSimulator(CloudConfig(seed=9, vms_per_day=2.0)).generate(T0, T1)
+        storage = list(StorageSimulator(StorageConfig(seed=9, n_users=4)).generate(T0, T1))
+        perf = generate_performance_batch(job_records, small_resource, max_jobs=8)
+        report = pipe.run(
+            sacct_logs={"testcluster": sacct_log},
+            performances=perf,
+            storage_docs=storage,
+            cloud_events=cloud,
+        )
+        assert report.jobs == len(job_records)
+        assert report.perf == 8
+        assert report.storage == len(storage)
+        assert report.vms > 0
+        assert report.total() == report.jobs + report.perf + report.storage + report.vms
+        for source in ("jobs", "supremm", "storage", "cloud"):
+            assert pipe.high_water(source) > 0
+
+    def test_unknown_source_high_water_zero(self):
+        assert IngestPipeline(Database()).high_water("nope") == 0

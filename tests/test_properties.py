@@ -1,0 +1,271 @@
+"""Property-based suites for the system-level invariants (DESIGN.md §5).
+
+The binlog replay properties live in test_warehouse_binlog; here we cover
+the federation- and aggregation-level invariants over randomized inputs:
+
+1. aggregation conserves additive measures for ANY job population and ANY
+   valid level configuration;
+2. fan-in equivalence: however jobs are partitioned across satellites, the
+   federated total equals the unpartitioned total;
+3. replication fidelity holds for arbitrary job populations;
+4. XD SU standardization is invariant to which resource reports equivalent
+   work;
+5. cloud sessionization conserves time: per-state seconds partition the
+   VM's lifetime.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.aggregation import (
+    AggregationConfig,
+    AggregationLevel,
+    AggregationLevelSet,
+    Aggregator,
+)
+from repro.core import FederationHub, XdmodInstance, check_federation
+from repro.etl import ParsedJob, ingest_jobs, ingest_cloud_events
+from repro.timeutil import SECONDS_PER_HOUR, ts
+from repro.warehouse import Database
+
+T0 = ts(2017, 1, 1)
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# -- strategies ---------------------------------------------------------------
+
+@st.composite
+def parsed_jobs(draw, max_jobs=40):
+    n = draw(st.integers(min_value=0, max_value=max_jobs))
+    jobs = []
+    for i in range(n):
+        start_offset = draw(st.integers(0, 300 * 24 * 3600))
+        duration = draw(st.integers(0, 80 * 3600))
+        cores = draw(st.integers(1, 512))
+        start = T0 + start_offset
+        jobs.append(
+            ParsedJob(
+                job_id=i + 1,
+                user=f"u{draw(st.integers(0, 5))}",
+                pi=f"p{draw(st.integers(0, 2))}",
+                queue=draw(st.sampled_from(["normal", "debug"])),
+                application=draw(st.sampled_from(["a", "b", "c"])),
+                submit_ts=start - draw(st.integers(0, 7200)),
+                start_ts=start,
+                end_ts=start + duration,
+                nodes=max(1, cores // 16),
+                cores=cores,
+                req_walltime_s=duration + 60,
+                state=draw(st.sampled_from(["COMPLETED", "FAILED", "TIMEOUT"])),
+                exit_code=0,
+                resource=draw(st.sampled_from(["res_x", "res_y"])),
+            )
+        )
+    return jobs
+
+
+@st.composite
+def level_sets(draw):
+    """A random, valid, contiguous wall-time level configuration."""
+    n_bins = draw(st.integers(1, 6))
+    edges = sorted(
+        draw(
+            st.lists(
+                st.integers(0, 100 * SECONDS_PER_HOUR),
+                min_size=n_bins + 1,
+                max_size=n_bins + 1,
+                unique=True,
+            )
+        )
+    )
+    levels = tuple(
+        AggregationLevel(f"bin{i}", lo, hi)
+        for i, (lo, hi) in enumerate(zip(edges, edges[1:]))
+    )
+    return AggregationLevelSet("random", "walltime_s", "s", levels)
+
+
+# -- properties ----------------------------------------------------------------
+
+@SETTINGS
+@given(jobs=parsed_jobs(), levels=level_sets(), period=st.sampled_from(
+    ["day", "month", "quarter", "year"]))
+def test_aggregation_conserves_measures(jobs, levels, period):
+    """Invariant 2: totals survive any binning at any period."""
+    schema = Database().create_schema("modw")
+    ingest_jobs(schema, jobs)
+    Aggregator(
+        schema, AggregationConfig(walltime_levels=levels)
+    ).aggregate_jobs(period)
+    agg = schema.table(f"agg_job_{period}")
+    raw_cpu = sum(r["cpu_hours"] for r in schema.table("fact_job").rows())
+    raw_jobs = len(schema.table("fact_job"))
+    agg_cpu = sum(r["cpu_hours"] for r in agg.rows())
+    agg_jobs = sum(r["n_jobs_ended"] for r in agg.rows())
+    assert agg_cpu == pytest.approx(raw_cpu, rel=1e-9, abs=1e-9)
+    assert agg_jobs == raw_jobs
+
+
+@SETTINGS
+@given(jobs=parsed_jobs(max_jobs=30), split=st.lists(
+    st.integers(0, 2), min_size=30, max_size=30))
+def test_fan_in_equivalence_under_any_partition(jobs, split):
+    """Invariant 3: partition jobs across up to 3 satellites; federated
+    totals equal the whole."""
+    partitions: dict[int, list[ParsedJob]] = {0: [], 1: [], 2: []}
+    for i, job in enumerate(jobs):
+        partitions[split[i]].append(job)
+    hub = FederationHub("hub")
+    for idx, batch in partitions.items():
+        satellite = XdmodInstance(f"sat{idx}")
+        ingest_jobs(satellite.schema, batch)
+        hub.join(satellite)
+    check = check_federation(hub, strict=True)
+    assert check.ok
+    totals = check.federation_totals()
+    assert totals["n_jobs"] == len(jobs)
+    assert totals["cpu_hours"] == pytest.approx(
+        sum(j.cores * max(0, j.end_ts - j.start_ts) / 3600 for j in jobs),
+        rel=1e-9, abs=1e-9,
+    )
+
+
+@SETTINGS
+@given(jobs=parsed_jobs())
+def test_replication_fidelity_any_population(jobs):
+    """Invariant 1: replicated tables are checksum-identical."""
+    satellite = XdmodInstance("sat")
+    ingest_jobs(satellite.schema, jobs)
+    hub = FederationHub("hub")
+    hub.join(satellite)
+    fed = hub.database.schema("fed_sat")
+    for table_name in fed.table_names():
+        assert (
+            fed.table(table_name).checksum()
+            == satellite.schema.table(table_name).checksum()
+        )
+
+
+@given(
+    factor_a=st.floats(0.1, 20.0, allow_nan=False),
+    factor_b=st.floats(0.1, 20.0, allow_nan=False),
+    work=st.floats(0.0, 1e6, allow_nan=False),
+)
+def test_xdsu_invariance(factor_a, factor_b, work):
+    """Invariant 5: equivalent work costs equal XD SUs anywhere."""
+    from repro.simulators import ConversionTable
+
+    table = ConversionTable({"a": factor_a, "b": factor_b})
+    charge_a = table.to_xdsu("a", work / factor_a)
+    charge_b = table.to_xdsu("b", work / factor_b)
+    assert charge_a == pytest.approx(charge_b, rel=1e-9, abs=1e-9)
+
+
+@st.composite
+def vm_event_streams(draw):
+    """A random but state-machine-valid single-VM event stream."""
+    t = T0
+    vcpus = draw(st.sampled_from([1, 2, 4, 8]))
+    mem = float(vcpus)
+    base = {
+        "vm_id": 1, "instance_type": f"c{vcpus}", "vcpus": vcpus,
+        "mem_gb": mem, "disk_gb": 10.0, "user": "u", "project": "p",
+        "resource": "cloud",
+    }
+    events = [dict(base, event_id=1, event_type="provision", ts=t)]
+    state = "provisioned"
+    eid = 2
+    for _ in range(draw(st.integers(0, 12))):
+        t += draw(st.integers(60, 86400))
+        if state in ("provisioned", "stopped"):
+            etype = "start"
+            state = "running"
+        elif state == "running":
+            etype = draw(st.sampled_from(["stop", "pause", "resize"]))
+            state = {"stop": "stopped", "pause": "paused",
+                     "resize": "running"}[etype]
+        else:  # paused
+            etype = "unpause"
+            state = "running"
+        events.append(dict(base, event_id=eid, event_type=etype, ts=t))
+        eid += 1
+    t += draw(st.integers(60, 86400))
+    events.append(dict(base, event_id=eid, event_type="terminate", ts=t))
+    return events
+
+
+@SETTINGS
+@given(events=vm_event_streams())
+def test_cloud_sessionization_conserves_time(events):
+    """Invariant 8: running+stopped+paused partition the VM lifetime, and
+    wall seconds never exceed it."""
+    schema = Database().create_schema("modw")
+    ingest_cloud_events(schema, events)
+    vm = next(schema.table("fact_vm").rows())
+    lifetime = vm["terminate_ts"] - vm["provision_ts"]
+    accounted = vm["running_s"] + vm["stopped_s"] + vm["paused_s"]
+    assert accounted == lifetime
+    assert 0 <= vm["wall_s"] <= lifetime
+    # interval rows partition the same span
+    interval_total = sum(
+        r["end_ts"] - r["start_ts"]
+        for r in schema.table("fact_vm_interval").rows()
+    )
+    assert interval_total == lifetime
+
+
+@st.composite
+def storage_snapshots(draw):
+    """Random per-user snapshots over a handful of sample times."""
+    times = draw(st.lists(
+        st.integers(T0, T0 + 20 * 86400), min_size=1, max_size=4, unique=True,
+    ))
+    users = [f"u{i}" for i in range(draw(st.integers(1, 4)))]
+    docs = []
+    for t in times:
+        for user in users:
+            docs.append({
+                "resource": "store", "filesystem": "fs1",
+                "mountpoint": "/fs1", "resource_type": "persistent",
+                "user": user, "ts": t,
+                "file_count": draw(st.integers(0, 10**6)),
+                "logical_usage_gb": draw(
+                    st.floats(0, 1e4, allow_nan=False)
+                ),
+                "physical_usage_gb": draw(
+                    st.floats(0, 1e4, allow_nan=False)
+                ),
+                "soft_quota_gb": 100.0, "hard_quota_gb": 200.0,
+            })
+    return docs
+
+
+@SETTINGS
+@given(docs=storage_snapshots())
+def test_storage_gauge_semantics_property(docs):
+    """Gauge invariant: the monthly figure is the mean over sample times of
+    the per-time sum across users — never a sum over samples."""
+    from collections import defaultdict
+
+    from repro.etl import ingest_storage_snapshots
+
+    schema = Database().create_schema("modw")
+    ingest_storage_snapshots(schema, docs)
+    Aggregator(schema).aggregate_storage("month")
+
+    from repro.timeutil import month_start
+
+    expected: dict[int, dict[int, float]] = defaultdict(lambda: defaultdict(float))
+    for doc in docs:
+        expected[month_start(doc["ts"])][doc["ts"]] += doc["physical_usage_gb"]
+    for row in schema.table("agg_storage_month").rows():
+        per_ts = expected[row["period_start"]]
+        mean_of_sums = sum(per_ts.values()) / len(per_ts)
+        assert row["avg_physical_gb"] == pytest.approx(mean_of_sums, rel=1e-9)

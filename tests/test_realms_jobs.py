@@ -1,0 +1,177 @@
+"""HPC Jobs realm: metric math, drill-down, fan-in equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.realms import RealmQueryError, jobs_realm
+from repro.timeutil import ts
+from tests.conftest import T0
+
+END = ts(2017, 6, 1)
+
+
+@pytest.fixture()
+def realm():
+    return jobs_realm()
+
+
+class TestSingleInstanceQueries:
+    def test_total_cpu_hours_matches_fact_table(self, aggregated_instance, realm):
+        schema = aggregated_instance.schema
+        result = realm.query(
+            schema, "cpu_hours", start=T0, end=END, view="aggregate"
+        )
+        expected = sum(r["cpu_hours"] for r in schema.table("fact_job").rows())
+        assert result.totals()["total"] == pytest.approx(expected)
+
+    def test_timeseries_vs_aggregate_views_agree(self, aggregated_instance, realm):
+        schema = aggregated_instance.schema
+        series = realm.query(schema, "cpu_hours", start=T0, end=END)
+        agg = realm.query(
+            schema, "cpu_hours", start=T0, end=END, view="aggregate"
+        )
+        assert sum(series.totals().values()) == pytest.approx(
+            sum(agg.totals().values())
+        )
+
+    def test_group_by_resource_labels(self, aggregated_instance, realm):
+        result = realm.query(
+            aggregated_instance.schema, "n_jobs_ended",
+            start=T0, end=END, group_by="resource",
+        )
+        assert result.groups() == ["testcluster"]
+
+    def test_group_by_queue_partitions_total(self, aggregated_instance, realm):
+        schema = aggregated_instance.schema
+        total = realm.query(
+            schema, "cpu_hours", start=T0, end=END, view="aggregate"
+        ).totals()["total"]
+        by_queue = realm.query(
+            schema, "cpu_hours", start=T0, end=END,
+            group_by="queue", view="aggregate",
+        ).totals()
+        assert sum(by_queue.values()) == pytest.approx(total)
+
+    def test_filter_restricts_to_group(self, aggregated_instance, realm):
+        schema = aggregated_instance.schema
+        by_queue = realm.query(
+            schema, "n_jobs_ended", start=T0, end=END,
+            group_by="queue", view="aggregate",
+        ).totals()
+        queue = next(iter(by_queue))
+        filtered = realm.query(
+            schema, "n_jobs_ended", start=T0, end=END,
+            filters={"queue": [queue]}, view="aggregate",
+        ).totals()
+        assert filtered["total"] == by_queue[queue]
+
+    def test_ratio_metric_is_quotient_of_sums(self, aggregated_instance, realm):
+        schema = aggregated_instance.schema
+        cpu = realm.query(schema, "cpu_hours", start=T0, end=END,
+                          view="aggregate").totals()["total"]
+        jobs = realm.query(schema, "n_jobs_ended", start=T0, end=END,
+                           view="aggregate").totals()["total"]
+        avg = realm.query(schema, "avg_cpu_hours", start=T0, end=END,
+                          view="aggregate").totals()["total"]
+        assert avg == pytest.approx(cpu / jobs)
+
+    def test_walltime_level_dimension(self, aggregated_instance, realm):
+        result = realm.query(
+            aggregated_instance.schema, "n_jobs_ended",
+            start=T0, end=END, group_by="walltime_level", view="aggregate",
+        )
+        from repro.aggregation import DEFAULT_WALLTIME_LEVELS
+
+        assert set(result.groups()) <= set(DEFAULT_WALLTIME_LEVELS.labels) | {"outside"}
+
+    def test_unknown_metric_and_dimension_rejected(self, aggregated_instance, realm):
+        with pytest.raises(RealmQueryError):
+            realm.query(aggregated_instance.schema, "nope", start=T0, end=END)
+        with pytest.raises(RealmQueryError):
+            realm.query(
+                aggregated_instance.schema, "cpu_hours",
+                start=T0, end=END, group_by="nope",
+            )
+
+    def test_empty_range_rejected(self, aggregated_instance, realm):
+        with pytest.raises(RealmQueryError):
+            realm.query(aggregated_instance.schema, "cpu_hours", start=END, end=T0)
+
+    def test_missing_agg_table_returns_empty(self, instance, realm):
+        # no aggregation ran yet
+        result = realm.query(instance.schema, "cpu_hours", start=T0, end=END)
+        assert result.rows == []
+
+
+class TestFederatedQueries:
+    def test_fan_in_equivalence(self, federation, realm):
+        """Invariant 3: federated totals == sum over satellites."""
+        hub, satellites, _, _ = federation
+        hub.aggregate_federation(["month"])
+        fed_total = realm.query(
+            hub.federated_schemas(), "cpu_hours",
+            start=T0, end=END, view="aggregate",
+        ).totals()["total"]
+        sat_total = 0.0
+        for satellite in satellites.values():
+            satellite.aggregate(["month"])
+            sat_total += realm.query(
+                satellite.schema, "cpu_hours",
+                start=T0, end=END, view="aggregate",
+            ).totals()["total"]
+        assert fed_total == pytest.approx(sat_total)
+
+    def test_person_dimension_qualified_on_hub(self, federation, realm):
+        """Section II-D4: same username appears once per instance."""
+        hub, _, _, _ = federation
+        hub.aggregate_federation(["month"])
+        result = realm.query(
+            hub.federated_schemas(), "n_jobs_ended",
+            start=T0, end=END, group_by="person", view="aggregate",
+        )
+        assert all("@" in g for g in result.groups())
+        instances = {g.split("@")[1] for g in result.groups()}
+        assert instances == {"site0", "site1"}
+
+    def test_identity_map_merges_hub_person_groups(self, federation, realm):
+        from repro.core import IdentityMap
+
+        hub, satellites, _, _ = federation
+        hub.aggregate_federation(["month"])
+        users = {
+            name: [r["username"] for r in s.schema.table("dim_person").rows()]
+            for name, s in satellites.items()
+        }
+        idmap = IdentityMap.from_username_match(users)
+        unmapped = realm.query(
+            hub.federated_schemas(), "n_jobs_ended",
+            start=T0, end=END, group_by="person", view="aggregate",
+        )
+        mapped = realm.query(
+            hub.federated_schemas(), "n_jobs_ended",
+            start=T0, end=END, group_by="person", view="aggregate",
+            idmap=idmap,
+        )
+        assert len(mapped.groups()) < len(unmapped.groups())
+        assert sum(mapped.totals().values()) == sum(unmapped.totals().values())
+
+    def test_resource_dimension_not_qualified(self, federation, realm):
+        hub, _, _, _ = federation
+        hub.aggregate_federation(["month"])
+        result = realm.query(
+            hub.federated_schemas(), "xdsu",
+            start=T0, end=END, group_by="resource", view="aggregate",
+        )
+        assert set(result.groups()) == {"alpha_cluster", "beta_cluster"}
+
+    def test_top_ranking(self, federation, realm):
+        hub, _, _, _ = federation
+        hub.aggregate_federation(["month"])
+        result = realm.query(
+            hub.federated_schemas(), "cpu_hours",
+            start=T0, end=END, group_by="resource",
+        )
+        top = result.top(2)
+        assert len(top) == 2
+        assert top[0][1] >= top[1][1]

@@ -1,0 +1,161 @@
+"""HTTP JSON API over a live (loopback) server."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.auth import Account, AccountStore, Role
+from repro.realms import jobs_realm
+from repro.timeutil import ts
+from repro.ui import ApiServer, XdmodApi
+from tests.conftest import T0
+
+END = ts(2017, 6, 1)
+
+
+def _get(url: str, token: str | None = None):
+    request = urllib.request.Request(url)
+    if token:
+        request.add_header("Authorization", f"Bearer {token}")
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+@pytest.fixture()
+def api(aggregated_instance):
+    return XdmodApi({"jobs": jobs_realm()}, aggregated_instance.schema)
+
+
+class TestDispatchUnit:
+    """Handler logic without a socket."""
+
+    def test_health(self, api):
+        status, payload = api.handle("/health", {})
+        assert status == 200 and payload["realms"] == ["jobs"]
+
+    def test_realm_catalog(self, api):
+        status, payload = api.handle("/realms", {})
+        assert "cpu_hours" in payload["jobs"]["metrics"]
+        assert "resource" in payload["jobs"]["dimensions"]
+
+    def test_unknown_route(self, api):
+        status, _ = api.handle("/bogus", {})
+        assert status == 404
+
+    def test_query_requires_params(self, api):
+        status, payload = api.handle("/query?realm=jobs", {})
+        assert status == 400 and "error" in payload
+
+    def test_unknown_realm(self, api):
+        status, _ = api.handle(f"/query?realm=nope&metric=x&start=0&end=1", {})
+        assert status == 400
+
+    def test_query_rows(self, api):
+        status, payload = api.handle(
+            f"/query?realm=jobs&metric=cpu_hours&start={T0}&end={END}"
+            "&group_by=queue",
+            {},
+        )
+        assert status == 200
+        assert payload["rows"]
+
+    def test_filters(self, api):
+        status, payload = api.handle(
+            f"/query?realm=jobs&metric=n_jobs_ended&start={T0}&end={END}"
+            "&group_by=queue&filter.queue=normal",
+            {},
+        )
+        assert status == 200
+        assert {r["group"] for r in payload["rows"]} == {"normal"}
+
+    def test_chart_payload(self, api):
+        status, payload = api.handle(
+            f"/chart?realm=jobs&metric=xdsu&start={T0}&end={END}"
+            "&group_by=queue&top_n=2",
+            {},
+        )
+        assert status == 200
+        assert len(payload["series"]) <= 2
+
+    def test_bad_realm_query_error_maps_to_400(self, api):
+        status, _ = api.handle(
+            f"/query?realm=jobs&metric=bogus&start={T0}&end={END}", {}
+        )
+        assert status == 400
+
+
+class TestAuthGate:
+    def test_query_requires_token_when_enabled(self, aggregated_instance):
+        api = XdmodApi(
+            {"jobs": jobs_realm()}, aggregated_instance.schema,
+            require_auth=True,
+        )
+        status, _ = api.handle(
+            f"/query?realm=jobs&metric=cpu_hours&start={T0}&end={END}", {}
+        )
+        assert status == 401
+        store = AccountStore("inst")
+        store.add(Account("alice", roles={Role.USER}))
+        session = store.open_session("alice", "local")
+        api.register_session(session)
+        status, _ = api.handle(
+            f"/query?realm=jobs&metric=cpu_hours&start={T0}&end={END}",
+            {"Authorization": f"Bearer {session.token}"},
+        )
+        assert status == 200
+        # catalog stays public
+        status, _ = api.handle("/realms", {})
+        assert status == 200
+
+
+class TestLiveServer:
+    def test_end_to_end_over_http(self, api):
+        with ApiServer(api) as server:
+            status, payload = _get(f"{server.url}/health")
+            assert status == 200
+            status, payload = _get(
+                f"{server.url}/query?realm=jobs&metric=cpu_hours"
+                f"&start={T0}&end={END}&group_by=resource"
+            )
+            assert status == 200
+            assert payload["rows"]
+            groups = {r["group"] for r in payload["rows"]}
+            assert groups == {"testcluster"}
+
+    def test_404_over_http(self, api):
+        with ApiServer(api) as server:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                _get(f"{server.url}/nope")
+            assert exc.value.code == 404
+
+
+class TestFederatedApi:
+    def test_hub_serves_federated_sources(self, federation):
+        """The hub's web UI surface: one API over all replicated schemas."""
+        hub, _, _, _ = federation
+        hub.aggregate_federation(["month"])
+        api = XdmodApi({"jobs": jobs_realm()}, hub.federated_schemas())
+        status, payload = api.handle(
+            f"/query?realm=jobs&metric=xdsu&start={T0}&end={END}"
+            "&group_by=resource&view=aggregate",
+            {},
+        )
+        assert status == 200
+        groups = {r["group"] for r in payload["rows"]}
+        assert groups == {"alpha_cluster", "beta_cluster"}
+
+    def test_federated_person_groups_qualified(self, federation):
+        hub, _, _, _ = federation
+        hub.aggregate_federation(["month"])
+        api = XdmodApi({"jobs": jobs_realm()}, hub.federated_schemas())
+        status, payload = api.handle(
+            f"/query?realm=jobs&metric=n_jobs_ended&start={T0}&end={END}"
+            "&group_by=person&view=aggregate",
+            {},
+        )
+        assert status == 200
+        assert all("@" in r["group"] for r in payload["rows"])

@@ -1,0 +1,140 @@
+"""Cloud and storage simulators: stream well-formedness and shapes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.etl import CLOUD_EVENT_SCHEMA, validate
+from repro.simulators import (
+    CloudConfig,
+    CloudSimulator,
+    DEFAULT_FILESYSTEMS,
+    StorageConfig,
+    StorageSimulator,
+    calibrate_jobs_per_day,
+    ccr_like_site,
+    figure1_sites,
+    vm_sessions,
+)
+from repro.simulators import ResourceSpec, WorkloadConfig
+from repro.timeutil import ts
+
+T0, T1 = ts(2017, 1, 1), ts(2017, 3, 1)
+
+
+class TestCloudSimulator:
+    def test_deterministic(self):
+        a = CloudSimulator(CloudConfig(seed=1, vms_per_day=3)).generate(T0, T1)
+        b = CloudSimulator(CloudConfig(seed=1, vms_per_day=3)).generate(T0, T1)
+        assert a == b
+
+    def test_every_event_validates(self, cloud_events):
+        for event in cloud_events:
+            validate(event, CLOUD_EVENT_SCHEMA)
+
+    def test_events_globally_time_ordered(self, cloud_events):
+        timestamps = [e["ts"] for e in cloud_events]
+        assert timestamps == sorted(timestamps)
+
+    def test_event_ids_unique(self, cloud_events):
+        ids = [e["event_id"] for e in cloud_events]
+        assert len(set(ids)) == len(ids)
+
+    def test_lifecycles_terminate_within_window(self, cloud_events):
+        for events in vm_sessions(cloud_events).values():
+            assert events[-1]["event_type"] == "terminate"
+            assert events[-1]["ts"] <= T1
+
+    def test_state_machine_validity(self, cloud_events):
+        """No pause while stopped, no double-start, etc."""
+        for events in vm_sessions(cloud_events).values():
+            state = "provisioned"
+            for event in events:
+                etype = event["event_type"]
+                if etype == "start":
+                    assert state in ("provisioned", "stopped")
+                    state = "running"
+                elif etype == "stop":
+                    assert state == "running"
+                    state = "stopped"
+                elif etype == "pause":
+                    assert state == "running"
+                    state = "paused"
+                elif etype == "unpause":
+                    assert state == "paused"
+                    state = "running"
+                elif etype == "resize":
+                    assert state in ("running", "stopped", "paused")
+
+    def test_flavor_mix_spans_memory_bins(self, cloud_events):
+        """Figure 7 needs VMs in all four memory bins."""
+        mems = {e["mem_gb"] for e in cloud_events}
+        assert {0.5, 1.0, 2.0, 4.0, 8.0} <= mems
+
+
+class TestStorageSimulator:
+    def test_deterministic(self):
+        a = list(StorageSimulator(StorageConfig(seed=2, n_users=4)).generate(T0, T1))
+        b = list(StorageSimulator(StorageConfig(seed=2, n_users=4)).generate(T0, T1))
+        assert a == b
+
+    def test_quota_enforced(self, storage_docs):
+        for doc in storage_docs:
+            assert doc["logical_usage_gb"] <= doc["hard_quota_gb"] + 1e-9
+
+    def test_physical_exceeds_logical_by_ratio(self, storage_docs):
+        cfg = StorageConfig()
+        for doc in storage_docs[:100]:
+            # values are rounded to 3 decimals at emission
+            assert doc["physical_usage_gb"] == pytest.approx(
+                doc["logical_usage_gb"] * cfg.physical_ratio, abs=2e-3
+            )
+
+    def test_snapshot_cadence(self, storage_docs):
+        timestamps = sorted({d["ts"] for d in storage_docs})
+        gaps = {b - a for a, b in zip(timestamps, timestamps[1:])}
+        assert gaps == {StorageConfig().snapshot_interval_s}
+
+    def test_all_filesystems_reported(self, storage_docs):
+        names = {d["filesystem"] for d in storage_docs}
+        assert names == {fs.name for fs in DEFAULT_FILESYSTEMS}
+
+
+class TestSitePresets:
+    def test_calibration_hits_target_utilization(self):
+        resource = ResourceSpec("cal", 16, 16, 64, 16.0)
+        config = calibrate_jobs_per_day(
+            WorkloadConfig(seed=5, max_cores=resource.total_cores),
+            resource,
+            target_utilization=0.6,
+        )
+        # measure realized demand over a month
+        from repro.simulators import WorkloadGenerator
+
+        demand = 0.0
+        horizon = 30 * 86400
+        for req in WorkloadGenerator(config).generate(T0, T0 + horizon):
+            cores = min(req.cores, resource.total_cores)
+            demand += cores * req.req_walltime_s * req.runtime_fraction
+        utilization = demand / (resource.total_cores * horizon)
+        assert 0.25 < utilization < 1.2  # right order of magnitude
+
+    def test_figure1_sites_shape(self):
+        sites = figure1_sites(scale=0.25)
+        assert set(sites) == {"comet", "stampede2", "stampede"}
+        # stampede ramps down, stampede2 ramps up
+        down = sites["stampede"].workload.monthly_activity
+        up = sites["stampede2"].workload.monthly_activity
+        assert down[0] > down[-1]
+        assert up[0] < up[-1]
+
+    def test_ccr_site(self):
+        site = ccr_like_site(scale=0.25)
+        assert site.resource.total_cores > 0
+        assert site.workload.jobs_per_day > 0
+
+    def test_unreasonable_utilization_rejected(self):
+        resource = ResourceSpec("cal", 4, 4, 16, 10.0)
+        with pytest.raises(ValueError):
+            calibrate_jobs_per_day(WorkloadConfig(), resource, target_utilization=5.0)

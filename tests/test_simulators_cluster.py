@@ -1,0 +1,176 @@
+"""Cluster scheduler simulator: capacity, ordering, and record sanity."""
+
+from __future__ import annotations
+
+import heapq
+
+import pytest
+
+from repro.simulators import (
+    ClusterSimulator,
+    QueueSpec,
+    ResourceSpec,
+    WorkloadConfig,
+    WorkloadGenerator,
+    simulate_resource,
+    to_sacct_log,
+)
+from repro.simulators.workload import JobRequest
+from repro.timeutil import SECONDS_PER_HOUR, ts
+
+T0 = ts(2017, 1, 1)
+
+
+def request(submit, cores, walltime_h, *, fate="COMPLETED", frac=1.0) -> JobRequest:
+    return JobRequest(
+        submit_ts=submit, user="u", pi="p", application="app",
+        nodes=0, cores=cores, req_walltime_s=int(walltime_h * 3600),
+        queue="normal", runtime_fraction=frac, fate=fate,
+    )
+
+
+SMALL = ResourceSpec("small", nodes=2, cores_per_node=8,
+                     mem_per_node_gb=32, gflops_per_core=10.0)
+
+
+class TestSchedulerInvariants:
+    def test_no_job_starts_before_submit(self, job_records):
+        assert all(r.start_ts >= r.submit_ts for r in job_records)
+
+    def test_capacity_never_exceeded(self, job_records, small_resource):
+        """Core-count invariant at every start/end event."""
+        events = []
+        for r in job_records:
+            if r.walltime_s <= 0:
+                continue
+            events.append((r.start_ts, r.cores))
+            events.append((r.end_ts, -r.cores))
+        events.sort()
+        in_use = 0
+        for _, delta in events:
+            in_use += delta
+            assert in_use <= small_resource.total_cores
+
+    def test_states_match_fates(self):
+        reqs = [
+            request(T0, 4, 1.0, fate="COMPLETED", frac=0.5),
+            request(T0 + 10, 4, 1.0, fate="FAILED", frac=0.01),
+            request(T0 + 20, 4, 1.0, fate="TIMEOUT"),
+            request(T0 + 30, 4, 1.0, fate="CANCELLED", frac=0.0),
+        ]
+        records = simulate_resource(SMALL, reqs)
+        states = sorted(r.state for r in records)
+        assert states == ["CANCELLED", "COMPLETED", "FAILED", "TIMEOUT"]
+
+    def test_timeout_runs_to_limit(self):
+        records = simulate_resource(SMALL, [request(T0, 4, 2.0, fate="TIMEOUT")])
+        assert records[0].walltime_s == 2 * 3600
+
+    def test_cancelled_has_zero_walltime_and_nodes(self):
+        records = simulate_resource(
+            SMALL, [request(T0, 4, 1.0, fate="CANCELLED", frac=0.0)]
+        )
+        assert records[0].walltime_s == 0
+        assert records[0].nodes == 0
+
+    def test_oversized_request_clamped_to_machine(self):
+        records = simulate_resource(SMALL, [request(T0, 9999, 1.0)])
+        assert records[0].cores == SMALL.total_cores
+        assert records[0].nodes == SMALL.nodes
+
+    def test_queue_walltime_limit_enforced(self):
+        resource = ResourceSpec(
+            "limited", nodes=2, cores_per_node=8, mem_per_node_gb=32,
+            gflops_per_core=10.0,
+            queues=(QueueSpec("normal", 2 * SECONDS_PER_HOUR),),
+        )
+        records = simulate_resource(resource, [request(T0, 4, 100.0)])
+        assert records[0].req_walltime_s == 2 * SECONDS_PER_HOUR
+        assert records[0].walltime_s <= 2 * SECONDS_PER_HOUR
+
+    def test_fcfs_when_saturated(self):
+        """With the machine full, equal jobs start in submit order."""
+        reqs = [request(T0 + i, 16, 1.0, frac=1.0) for i in range(4)]
+        records = simulate_resource(SMALL, reqs)
+        by_submit = sorted(records, key=lambda r: r.submit_ts)
+        starts = [r.start_ts for r in by_submit]
+        assert starts == sorted(starts)
+
+    def test_backfill_small_job_jumps_queue_without_delaying_head(self):
+        # t=0: 15-core job for 4h leaves one core free.
+        # t=10: head asks all 16 cores (must wait until 4h).
+        # t=20: 1-core 1h job fits the free core and ends before the
+        #       head's shadow time, so EASY backfill starts it now.
+        reqs = [
+            request(T0, 15, 4.0),
+            request(T0 + 10, 16, 4.0),
+            request(T0 + 20, 1, 1.0),
+        ]
+        records = {r.job_id: r for r in simulate_resource(SMALL, reqs)}
+        head = records[2]
+        backfilled = records[3]
+        assert backfilled.start_ts < head.start_ts
+        # and the head still starts when the first job ends
+        assert head.start_ts == records[1].end_ts
+
+    def test_node_count_ceiling_division(self):
+        records = simulate_resource(SMALL, [request(T0, 9, 0.5)])
+        assert records[0].nodes == 2  # ceil(9 / 8)
+
+    def test_records_sorted_by_end(self, job_records):
+        ends = [r.end_ts for r in job_records]
+        assert ends == sorted(ends)
+
+    def test_job_ids_unique(self, job_records):
+        ids = [r.job_id for r in job_records]
+        assert len(set(ids)) == len(ids)
+
+
+class TestWorkloadGenerator:
+    def test_deterministic(self):
+        cfg = WorkloadConfig(seed=3, jobs_per_day=20)
+        a = list(WorkloadGenerator(cfg).generate(T0, T0 + 3 * 86400))
+        b = list(WorkloadGenerator(cfg).generate(T0, T0 + 3 * 86400))
+        assert [r.submit_ts for r in a] == [r.submit_ts for r in b]
+        assert [r.user for r in a] == [r.user for r in b]
+
+    def test_submit_order_nondecreasing(self):
+        reqs = list(
+            WorkloadGenerator(WorkloadConfig(seed=1)).generate(T0, T0 + 86400 * 5)
+        )
+        submits = [r.submit_ts for r in reqs]
+        assert submits == sorted(submits)
+
+    def test_monthly_envelope_shapes_volume(self):
+        cfg = WorkloadConfig(
+            seed=2, jobs_per_day=40,
+            monthly_activity=(1.0, 0.0) + (0.0,) * 10,
+        )
+        reqs = list(WorkloadGenerator(cfg).generate(ts(2017, 1, 1), ts(2017, 3, 1)))
+        jan = [r for r in reqs if r.submit_ts < ts(2017, 2, 1)]
+        feb = [r for r in reqs if r.submit_ts >= ts(2017, 2, 1)]
+        assert len(jan) > 100
+        assert len(feb) == 0
+
+    def test_fates_roughly_match_configuration(self):
+        cfg = WorkloadConfig(seed=4, jobs_per_day=120, failed_fraction=0.1,
+                             timeout_fraction=0.1, cancelled_fraction=0.1)
+        reqs = list(WorkloadGenerator(cfg).generate(T0, T0 + 86400 * 20))
+        fates = {f: 0 for f in ("COMPLETED", "FAILED", "TIMEOUT", "CANCELLED")}
+        for r in reqs:
+            fates[r.fate] += 1
+        n = len(reqs)
+        assert n > 500
+        for fate in ("FAILED", "TIMEOUT", "CANCELLED"):
+            assert 0.05 < fates[fate] / n < 0.18
+
+    def test_population_hierarchy(self):
+        gen = WorkloadGenerator(WorkloadConfig(seed=1, n_pis=6, users_per_pi=3))
+        assert len(gen.pis) == 6
+        assert len(gen.users) == 18
+        pi_names = {p.username for p in gen.pis}
+        assert all(u.pi in pi_names for u in gen.users)
+
+    def test_sacct_log_renders_all_records(self, job_records):
+        log = to_sacct_log(job_records)
+        assert log.count("\n") == len(job_records) + 1  # header + rows

@@ -1,0 +1,137 @@
+"""sacct shredder: formats, quirks, and error handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.etl import (
+    SacctParseError,
+    normalize_state,
+    parse_exit_code,
+    parse_sacct_line,
+    parse_sacct_log,
+    parse_timelimit,
+)
+from repro.simulators import sacct_header, to_sacct_line
+from repro.timeutil import parse_iso
+
+GOOD_LINE = (
+    "123|alice|pi001|normal|namd|2017-01-02T08:00:00|2017-01-02T09:00:00|"
+    "2017-01-02T15:30:00|2|32|12:00:00|COMPLETED|0:0|comet"
+)
+
+
+class TestTimelimit:
+    @pytest.mark.parametrize(
+        "text,seconds",
+        [
+            ("01:30:00", 5400),
+            ("00:05:00", 300),
+            ("2-00:00:00", 172800),
+            ("1-12:00:00", 129600),
+            ("10:30", 37800),
+            ("UNLIMITED", 0),
+            ("Partition_Limit", 0),
+            ("", 0),
+        ],
+    )
+    def test_formats(self, text, seconds):
+        assert parse_timelimit(text) == seconds
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SacctParseError):
+            parse_timelimit("1:2:3:4")
+
+
+class TestStateAndExit:
+    def test_cancelled_by_uid(self):
+        assert normalize_state("CANCELLED by 5001") == "CANCELLED"
+
+    def test_plain_states_pass_through(self):
+        assert normalize_state("completed") == "COMPLETED"
+        assert normalize_state("NODE_FAIL") == "NODE_FAIL"
+
+    def test_exit_code(self):
+        assert parse_exit_code("0:0") == 0
+        assert parse_exit_code("137:9") == 137
+        assert parse_exit_code("") == 0
+
+
+class TestParseLine:
+    def test_good_line(self):
+        job = parse_sacct_line(GOOD_LINE)
+        assert job.job_id == 123
+        assert job.user == "alice"
+        assert job.pi == "pi001"
+        assert job.cores == 32
+        assert job.req_walltime_s == 12 * 3600
+        assert job.resource == "comet"
+        assert job.walltime_s == 6.5 * 3600
+        assert job.wait_s == 3600
+
+    def test_unknown_start_means_never_started(self):
+        line = GOOD_LINE.replace("2017-01-02T09:00:00", "Unknown").replace(
+            "COMPLETED", "CANCELLED by 1"
+        )
+        job = parse_sacct_line(line)
+        assert job.state == "CANCELLED"
+        assert job.start_ts == job.end_ts
+        assert job.walltime_s == 0
+
+    def test_array_job_id(self):
+        line = GOOD_LINE.replace("123|", "123_7|", 1)
+        assert parse_sacct_line(line).job_id == 123
+
+    def test_wrong_field_count(self):
+        with pytest.raises(SacctParseError):
+            parse_sacct_line("a|b|c")
+
+    def test_bad_timestamp(self):
+        with pytest.raises(SacctParseError):
+            parse_sacct_line(GOOD_LINE.replace("2017-01-02T08:00:00", "yesterday"))
+
+    def test_empty_cluster_uses_default(self):
+        line = GOOD_LINE[: GOOD_LINE.rfind("|") + 1]
+        job = parse_sacct_line(line, default_resource="fallback")
+        assert job.resource == "fallback"
+
+
+class TestParseLog:
+    def test_header_and_blank_lines_skipped(self):
+        text = "\n".join([sacct_header(), "", GOOD_LINE, ""])
+        jobs = list(parse_sacct_log(text))
+        assert len(jobs) == 1
+
+    def test_job_steps_skipped(self):
+        step = GOOD_LINE.replace("123|", "123.batch|", 1)
+        jobs = list(parse_sacct_log("\n".join([GOOD_LINE, step])))
+        assert len(jobs) == 1
+        jobs = list(
+            parse_sacct_log("\n".join([GOOD_LINE, step]), skip_steps=False)
+        )
+        assert len(jobs) == 2
+
+    def test_strict_vs_lenient(self):
+        text = "\n".join([GOOD_LINE, "garbage|line"])
+        with pytest.raises(SacctParseError):
+            list(parse_sacct_log(text))
+        jobs = list(parse_sacct_log(text, strict=False))
+        assert len(jobs) == 1
+
+    def test_round_trip_with_simulator(self, job_records):
+        """Every simulated record survives render -> parse intact."""
+        parsed = list(
+            parse_sacct_log(
+                "\n".join(to_sacct_line(r) for r in job_records),
+                default_resource="testcluster",
+            )
+        )
+        assert len(parsed) == len(job_records)
+        for rec, job in zip(sorted(job_records, key=lambda r: (r.end_ts, r.job_id)),
+                            sorted(parsed, key=lambda j: (j.end_ts, j.job_id))):
+            assert job.job_id == rec.job_id
+            assert job.user == rec.user
+            assert job.cores == rec.cores
+            assert job.state == rec.state
+            assert job.submit_ts == rec.submit_ts
+            assert job.end_ts == rec.end_ts

@@ -1,0 +1,97 @@
+"""XD SU standardization and the synthetic HPL benchmark."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    standardization_report,
+    standardize_federation,
+)
+from repro.simulators import (
+    NUS_PER_XDSU,
+    PHASE1_DTF_GFLOPS_PER_CORE,
+    ConversionTable,
+    ResourceSpec,
+    derive_conversion_factor,
+    nu_to_xdsu,
+    run_hpl,
+    xdsu_to_nu,
+)
+
+FAST = ResourceSpec("fast", 8, 16, 64, 30.0)
+SLOW = ResourceSpec("slow", 8, 16, 64, 6.0)
+
+
+class TestHpl:
+    def test_deterministic_given_seed(self):
+        a = run_hpl(FAST, seed=1)
+        b = run_hpl(FAST, seed=1)
+        assert a == b
+
+    def test_efficiency_below_peak(self):
+        result = run_hpl(FAST, seed=1)
+        assert 0.5 <= result.efficiency <= 0.95
+        assert result.measured_gflops_per_core < FAST.gflops_per_core
+
+    def test_rmax_scales_with_cores(self):
+        small = run_hpl(ResourceSpec("s", 2, 16, 64, 20.0), seed=1)
+        big = run_hpl(ResourceSpec("b", 64, 16, 64, 20.0), seed=1)
+        assert big.rmax_tflops > small.rmax_tflops * 10
+
+    def test_faster_cores_give_larger_factor(self):
+        fast = derive_conversion_factor(run_hpl(FAST, seed=1))
+        slow = derive_conversion_factor(run_hpl(SLOW, seed=1))
+        assert fast > slow > 0
+
+    def test_reference_machine_factor_near_one(self):
+        ref = ResourceSpec("dtf", 4, 2, 4, PHASE1_DTF_GFLOPS_PER_CORE / 0.82)
+        factor = derive_conversion_factor(run_hpl(ref, seed=2, base_efficiency=0.82))
+        assert factor == pytest.approx(1.0, rel=0.1)
+
+    def test_nu_conversion_round_trip(self):
+        assert nu_to_xdsu(xdsu_to_nu(5.0)) == pytest.approx(5.0)
+        assert xdsu_to_nu(1.0) == NUS_PER_XDSU
+
+
+class TestConversionTable:
+    def test_unknown_resource_defaults_to_raw(self):
+        table = ConversionTable({"a": 2.0})
+        assert table.factor("a") == 2.0
+        assert table.factor("b") == 1.0
+        assert table.is_standardized("a")
+        assert not table.is_standardized("b")
+
+    def test_to_xdsu(self):
+        table = ConversionTable({"a": 2.5})
+        assert table.to_xdsu("a", 100.0) == pytest.approx(250.0)
+
+    def test_charge_invariance_across_equivalent_work(self):
+        """Invariant 5: the same computation costs the same XD SUs no
+        matter which machine ran it.  A job needing W reference-core-hours
+        takes W/f CPU-hours on a machine with factor f, and is charged
+        (W/f) x f = W on any machine."""
+        table, _ = standardize_federation({"fast": FAST, "slow": SLOW})
+        work_ref_hours = 120.0
+        for name in ("fast", "slow"):
+            factor = table.factor(name)
+            cpu_hours_needed = work_ref_hours / factor
+            assert table.to_xdsu(name, cpu_hours_needed) == pytest.approx(
+                work_ref_hours
+            )
+
+
+class TestStandardizationReport:
+    def test_report_flags_unstandardized(self):
+        table = ConversionTable({"a": 2.0})
+        report = standardization_report(table, ["a", "b", "c"])
+        assert report.standardized == ("a",)
+        assert report.unstandardized == ("b", "c")
+        assert not report.is_fully_standardized
+
+    def test_federation_wide_benchmarking(self):
+        table, results = standardize_federation({"fast": FAST, "slow": SLOW})
+        assert set(table.factors) == {"fast", "slow"}
+        assert set(results) == {"fast", "slow"}
+        report = standardization_report(table, ["fast", "slow"])
+        assert report.is_fully_standardized

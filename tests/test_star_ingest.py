@@ -1,0 +1,110 @@
+"""Star-schema ingestion: dimensions, facts, idempotency, XD SUs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.etl import (
+    JOBS_REALM_TABLES,
+    ParsedJob,
+    PersonInfo,
+    create_jobs_star,
+    dimension_labels,
+    ingest_jobs,
+)
+from repro.simulators import ConversionTable
+from repro.timeutil import ts
+from repro.warehouse import Database
+
+
+def make_job(job_id=1, user="alice", resource="comet", cores=8, **kwargs) -> ParsedJob:
+    defaults = dict(
+        pi="pi001",
+        queue="normal",
+        application="namd",
+        submit_ts=ts(2017, 1, 1, 8),
+        start_ts=ts(2017, 1, 1, 9),
+        end_ts=ts(2017, 1, 1, 11),
+        nodes=1,
+        req_walltime_s=4 * 3600,
+        state="COMPLETED",
+        exit_code=0,
+    )
+    defaults.update(kwargs)
+    return ParsedJob(job_id=job_id, user=user, resource=resource, cores=cores, **defaults)
+
+
+@pytest.fixture()
+def schema():
+    return Database().create_schema("modw")
+
+
+class TestStarCreation:
+    def test_all_tables_created(self, schema):
+        create_jobs_star(schema)
+        for name in JOBS_REALM_TABLES:
+            assert schema.has_table(name)
+
+    def test_idempotent(self, schema):
+        create_jobs_star(schema)
+        create_jobs_star(schema)  # no DuplicateObjectError
+
+
+class TestIngest:
+    def test_dimensions_populated(self, schema):
+        directory = {"alice": PersonInfo(full_name="Alice A", pi="pi001",
+                                         decanal_unit="Engineering",
+                                         department="CS")}
+        n = ingest_jobs(schema, [make_job()], directory=directory,
+                        science_fields={"namd": "Molecular Biosciences"})
+        assert n == 1
+        person = next(schema.table("dim_person").rows())
+        assert person["decanal_unit"] == "Engineering"
+        app = next(schema.table("dim_application").rows())
+        assert app["science_field"] == "Molecular Biosciences"
+        queue = next(schema.table("dim_queue").rows())
+        assert (queue["name"], queue["resource"]) == ("normal", "comet")
+
+    def test_fact_measures(self, schema):
+        conv = ConversionTable({"comet": 3.0})
+        ingest_jobs(schema, [make_job()], conversion=conv)
+        fact = next(schema.table("fact_job").rows())
+        assert fact["walltime_s"] == 2 * 3600
+        assert fact["wait_s"] == 3600
+        assert fact["cpu_hours"] == pytest.approx(16.0)  # 8 cores x 2h
+        assert fact["xdsu"] == pytest.approx(48.0)  # conversion factor 3
+
+    def test_unstandardized_resource_factor_one(self, schema):
+        ingest_jobs(schema, [make_job()])
+        fact = next(schema.table("fact_job").rows())
+        assert fact["xdsu"] == pytest.approx(fact["cpu_hours"])
+
+    def test_reingest_is_idempotent(self, schema):
+        jobs = [make_job(job_id=i) for i in range(5)]
+        assert ingest_jobs(schema, jobs) == 5
+        assert ingest_jobs(schema, jobs) == 0
+        assert len(schema.table("fact_job")) == 5
+
+    def test_same_job_id_on_different_resources(self, schema):
+        ingest_jobs(schema, [make_job(job_id=1, resource="comet"),
+                             make_job(job_id=1, resource="stampede")])
+        assert len(schema.table("fact_job")) == 2
+        assert len(schema.table("dim_resource")) == 2
+
+    def test_dimension_ids_stable_across_batches(self, schema):
+        ingest_jobs(schema, [make_job(job_id=1)])
+        first = next(schema.table("dim_person").rows())["person_id"]
+        ingest_jobs(schema, [make_job(job_id=2)])
+        people = list(schema.table("dim_person").rows())
+        assert len(people) == 1 and people[0]["person_id"] == first
+
+    def test_dimension_labels_helper(self, schema):
+        ingest_jobs(schema, [make_job()])
+        labels = dimension_labels(schema, "dim_resource")
+        assert list(labels.values()) == ["comet"]
+
+    def test_conversion_factor_recorded_on_dim(self, schema):
+        conv = ConversionTable({"comet": 2.5})
+        ingest_jobs(schema, [make_job()], conversion=conv)
+        res = next(schema.table("dim_resource").rows())
+        assert res["conversion_factor"] == pytest.approx(2.5)

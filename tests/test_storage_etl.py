@@ -1,0 +1,114 @@
+"""Storage realm ETL: JSON-schema-gated snapshot ingestion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.etl import (
+    STORAGE_SNAPSHOT_SCHEMA,
+    JsonSchemaError,
+    ingest_storage_snapshots,
+    validate,
+)
+from repro.timeutil import ts
+from repro.warehouse import Database
+
+GOOD_DOC = {
+    "resource": "ccr_storage",
+    "filesystem": "isilon_home",
+    "mountpoint": "/home",
+    "resource_type": "persistent",
+    "user": "alice",
+    "pi": "pi001",
+    "system_username": "alice",
+    "ts": ts(2017, 3, 1),
+    "file_count": 120_000,
+    "logical_usage_gb": 42.5,
+    "physical_usage_gb": 53.1,
+    "soft_quota_gb": 50.0,
+    "hard_quota_gb": 100.0,
+}
+
+
+@pytest.fixture()
+def schema():
+    return Database().create_schema("modw")
+
+
+class TestSchema:
+    def test_good_document_validates(self):
+        validate(GOOD_DOC, STORAGE_SNAPSHOT_SCHEMA)
+
+    @pytest.mark.parametrize("missing", [
+        "resource", "filesystem", "mountpoint", "resource_type",
+        "user", "ts", "file_count", "logical_usage_gb", "physical_usage_gb",
+    ])
+    def test_required_fields(self, missing):
+        doc = {k: v for k, v in GOOD_DOC.items() if k != missing}
+        with pytest.raises(JsonSchemaError):
+            validate(doc, STORAGE_SNAPSHOT_SCHEMA)
+
+    def test_mountpoint_must_be_absolute(self):
+        doc = dict(GOOD_DOC, mountpoint="scratch")
+        with pytest.raises(JsonSchemaError):
+            validate(doc, STORAGE_SNAPSHOT_SCHEMA)
+
+    def test_resource_type_enum(self):
+        doc = dict(GOOD_DOC, resource_type="tape")
+        with pytest.raises(JsonSchemaError):
+            validate(doc, STORAGE_SNAPSHOT_SCHEMA)
+
+    def test_negative_usage_rejected(self):
+        doc = dict(GOOD_DOC, logical_usage_gb=-1.0)
+        with pytest.raises(JsonSchemaError):
+            validate(doc, STORAGE_SNAPSHOT_SCHEMA)
+
+    def test_fractional_file_count_rejected(self):
+        doc = dict(GOOD_DOC, file_count=1.5)
+        with pytest.raises(JsonSchemaError):
+            validate(doc, STORAGE_SNAPSHOT_SCHEMA)
+
+
+class TestIngest:
+    def test_ingest_good_document(self, schema):
+        ingested, rejected = ingest_storage_snapshots(schema, [GOOD_DOC])
+        assert (ingested, rejected) == (1, 0)
+        row = next(schema.table("fact_storage").rows())
+        assert row["filesystem"] == "isilon_home"
+        assert row["physical_usage_gb"] == pytest.approx(53.1)
+        # shares the jobs star person dimension
+        assert len(schema.table("dim_person")) == 1
+
+    def test_strict_raises_on_bad_document(self, schema):
+        with pytest.raises(JsonSchemaError):
+            ingest_storage_snapshots(schema, [{"nope": 1}])
+
+    def test_lenient_counts_rejections(self, schema):
+        docs = [GOOD_DOC, {"nope": 1}, dict(GOOD_DOC, ts=ts(2017, 4, 1))]
+        ingested, rejected = ingest_storage_snapshots(schema, docs, strict=False)
+        assert (ingested, rejected) == (2, 1)
+
+    def test_optional_quota_defaults(self, schema):
+        doc = {k: v for k, v in GOOD_DOC.items()
+               if k not in ("soft_quota_gb", "hard_quota_gb", "pi",
+                            "system_username")}
+        ingest_storage_snapshots(schema, [doc])
+        row = next(schema.table("fact_storage").rows())
+        assert row["soft_quota_gb"] == 0.0
+        assert row["system_username"] == "alice"
+
+    def test_simulated_docs_all_validate(self, schema, storage_docs):
+        ingested, rejected = ingest_storage_snapshots(schema, storage_docs)
+        assert rejected == 0
+        assert ingested == len(storage_docs)
+
+    def test_simulated_growth_is_monotonicish(self, storage_docs):
+        """Figure 6's shape: persistent usage grows over the window."""
+        from collections import defaultdict
+
+        per_ts = defaultdict(float)
+        for doc in storage_docs:
+            if doc["resource_type"] == "persistent":
+                per_ts[doc["ts"]] += doc["physical_usage_gb"]
+        series = [per_ts[t] for t in sorted(per_ts)]
+        assert series[-1] > series[0]

@@ -1,0 +1,117 @@
+"""Period arithmetic and time helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import timeutil as tu
+
+EPOCHS = st.integers(min_value=tu.ts(1990, 1, 1), max_value=tu.ts(2040, 12, 31))
+
+
+def test_ts_round_trip_iso():
+    epoch = tu.ts(2017, 7, 14, 12, 30, 45)
+    assert tu.iso(epoch) == "2017-07-14T12:30:45"
+    assert tu.parse_iso("2017-07-14T12:30:45") == epoch
+
+
+def test_month_start_and_next():
+    epoch = tu.ts(2017, 3, 15, 9)
+    assert tu.month_start(epoch) == tu.ts(2017, 3, 1)
+    assert tu.next_month(epoch) == tu.ts(2017, 4, 1)
+    assert tu.next_month(tu.ts(2017, 12, 25)) == tu.ts(2018, 1, 1)
+
+
+def test_quarter_boundaries():
+    assert tu.quarter_start(tu.ts(2017, 5, 20)) == tu.ts(2017, 4, 1)
+    assert tu.next_quarter(tu.ts(2017, 5, 20)) == tu.ts(2017, 7, 1)
+    assert tu.next_quarter(tu.ts(2017, 11, 1)) == tu.ts(2018, 1, 1)
+
+
+def test_year_boundaries():
+    assert tu.year_start(tu.ts(2017, 6, 6)) == tu.ts(2017, 1, 1)
+    assert tu.next_year(tu.ts(2017, 6, 6)) == tu.ts(2018, 1, 1)
+
+
+def test_period_labels():
+    epoch = tu.ts(2017, 8, 9)
+    assert tu.period_label("day", epoch) == "2017-08-09"
+    assert tu.period_label("month", epoch) == "2017-08"
+    assert tu.period_label("quarter", epoch) == "2017 Q3"
+    assert tu.period_label("year", epoch) == "2017"
+
+
+def test_unknown_period_raises():
+    with pytest.raises(ValueError):
+        tu.period_start("week", 0)
+    with pytest.raises(ValueError):
+        tu.period_next("week", 0)
+    with pytest.raises(ValueError):
+        tu.period_label("week", 0)
+
+
+def test_period_range_covers_window():
+    windows = list(tu.period_range("month", tu.ts(2017, 1, 15), tu.ts(2017, 4, 2)))
+    assert windows[0] == (tu.ts(2017, 1, 1), tu.ts(2017, 2, 1))
+    assert windows[-1] == (tu.ts(2017, 4, 1), tu.ts(2017, 5, 1))
+    assert len(windows) == 4
+
+
+def test_period_range_empty_for_degenerate_window():
+    assert list(tu.period_range("day", 100, 100)) == []
+    assert list(tu.period_range("day", 100, 50)) == []
+
+
+def test_overlap_seconds():
+    assert tu.overlap_seconds(0, 10, 5, 20) == 5
+    assert tu.overlap_seconds(0, 10, 10, 20) == 0
+    assert tu.overlap_seconds(0, 10, -5, 100) == 10
+    assert tu.overlap_seconds(0, 10, 20, 30) == 0
+
+
+def test_days_in_month():
+    assert tu.days_in_month(tu.ts(2017, 2, 10)) == 28
+    assert tu.days_in_month(tu.ts(2016, 2, 10)) == 29
+    assert tu.days_in_month(tu.ts(2017, 12, 31)) == 31
+
+
+@pytest.mark.parametrize("period", tu.PERIODS)
+@given(epoch=EPOCHS)
+def test_period_start_idempotent(period, epoch):
+    start = tu.period_start(period, epoch)
+    assert tu.period_start(period, start) == start
+    assert start <= epoch
+
+
+@pytest.mark.parametrize("period", tu.PERIODS)
+@given(epoch=EPOCHS)
+def test_period_next_is_after_and_adjacent(period, epoch):
+    start = tu.period_start(period, epoch)
+    nxt = tu.period_next(period, epoch)
+    assert nxt > epoch
+    # the next period's start is exactly the current period's end
+    assert tu.period_start(period, nxt) == nxt
+    assert tu.period_next(period, start) == nxt
+
+
+@given(epoch=EPOCHS)
+def test_periods_nest(epoch):
+    """day ⊆ month ⊆ quarter ⊆ year containment."""
+    assert tu.month_start(epoch) <= tu.day_start(epoch)
+    assert tu.quarter_start(epoch) <= tu.month_start(epoch)
+    assert tu.year_start(epoch) <= tu.quarter_start(epoch)
+
+
+@given(
+    a=st.integers(min_value=0, max_value=10**6),
+    b=st.integers(min_value=0, max_value=10**6),
+    c=st.integers(min_value=0, max_value=10**6),
+    d=st.integers(min_value=0, max_value=10**6),
+)
+def test_overlap_symmetric_and_bounded(a, b, c, d):
+    a, b = sorted((a, b))
+    c, d = sorted((c, d))
+    ov = tu.overlap_seconds(a, b, c, d)
+    assert ov == tu.overlap_seconds(c, d, a, b)
+    assert 0 <= ov <= min(b - a, d - c)

@@ -1,0 +1,250 @@
+"""UI layer: charts, explorer drill-down, Job Viewer, export, reports."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.auth import Account, AccountStore, AuthError, Role
+from repro.realms import jobs_realm
+from repro.timeutil import ts
+from repro.ui import (
+    ChartBuilder,
+    ChartSpec,
+    JobNotFoundError,
+    JobViewer,
+    ReportDefinition,
+    ReportGenerator,
+    UsageExplorer,
+    chart_to_csv,
+    due_on,
+    render_bars,
+    render_lines,
+    render_table,
+    result_to_csv,
+    result_to_json,
+    run_schedule,
+)
+from tests.conftest import T0
+
+END = ts(2017, 6, 1)
+
+
+@pytest.fixture()
+def builder(aggregated_instance):
+    return ChartBuilder(jobs_realm(), aggregated_instance.schema)
+
+
+class TestCharts:
+    def test_timeseries_chart(self, builder):
+        chart = builder.timeseries("cpu_hours", start=T0, end=END, group_by="queue")
+        assert chart.view == "timeseries"
+        assert chart.series
+        # series ordered by descending total
+        totals = [s.total() for s in chart.series]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_top_n(self, builder):
+        chart = builder.timeseries(
+            "cpu_hours", start=T0, end=END, group_by="person", top_n=3
+        )
+        assert len(chart.series) <= 3
+
+    def test_aggregate_chart(self, builder):
+        chart = builder.aggregate("n_jobs_ended", start=T0, end=END, group_by="queue")
+        assert chart.view == "aggregate"
+        for series in chart.series:
+            assert len(series.points) == 1
+
+    def test_to_dict_json_ready(self, builder):
+        chart = builder.timeseries("xdsu", start=T0, end=END)
+        json.dumps(chart.to_dict())
+
+    def test_series_lookup(self, builder):
+        chart = builder.timeseries("cpu_hours", start=T0, end=END, group_by="queue")
+        label = chart.labels[0]
+        assert chart.series_by_label(label).label == label
+        with pytest.raises(KeyError):
+            chart.series_by_label("nope")
+
+
+class TestExplorer:
+    def test_drill_down_narrows_and_regroups(self, aggregated_instance):
+        explorer = UsageExplorer(jobs_realm(), aggregated_instance.schema)
+        explorer.configure("cpu_hours", start=T0, end=END).group_by("queue")
+        by_queue = explorer.fetch().totals()
+        queue = max(by_queue, key=by_queue.get)
+        explorer.drill_down(queue, "application")
+        drilled = explorer.fetch()
+        assert explorer.state.group_by == "application"
+        assert sum(drilled.totals().values()) == pytest.approx(by_queue[queue])
+
+    def test_filters_accumulate(self, aggregated_instance):
+        explorer = UsageExplorer(jobs_realm(), aggregated_instance.schema)
+        explorer.configure("n_jobs_ended", start=T0, end=END)
+        explorer.filter("queue", ["normal"]).filter("queue", ["debug"])
+        assert dict(explorer.state.filters)["queue"] == ("debug", "normal")
+
+    def test_back_navigation(self, aggregated_instance):
+        explorer = UsageExplorer(jobs_realm(), aggregated_instance.schema)
+        explorer.configure("cpu_hours", start=T0, end=END)
+        explorer.group_by("queue")
+        explorer.back()
+        assert explorer.state.group_by is None
+
+    def test_breadcrumbs(self, aggregated_instance):
+        explorer = UsageExplorer(jobs_realm(), aggregated_instance.schema)
+        explorer.configure("cpu_hours", start=T0, end=END).group_by("queue")
+        crumbs = explorer.breadcrumbs
+        assert crumbs[-1] == "cpu_hours by queue"
+
+    def test_unconfigured_rejected(self, aggregated_instance):
+        from repro.realms import RealmQueryError
+
+        explorer = UsageExplorer(jobs_realm(), aggregated_instance.schema)
+        with pytest.raises(RealmQueryError):
+            explorer.fetch()
+        with pytest.raises(RealmQueryError):
+            UsageExplorer(jobs_realm(), aggregated_instance.schema).configure(
+                "cpu_hours", start=T0, end=END
+            ).drill_down("x", "queue")
+
+
+class TestJobViewer:
+    @pytest.fixture()
+    def viewer(self, instance, job_records, small_resource):
+        from repro.etl import ingest_performance
+        from repro.simulators import generate_performance_batch
+
+        batch = generate_performance_batch(job_records, small_resource, max_jobs=5)
+        ingest_performance(instance.schema, batch)
+        return JobViewer(instance.schema), batch[0].job_id
+
+    def test_fetch_accounting_and_perf(self, viewer):
+        jv, job_id = viewer
+        detail = jv.fetch("testcluster", job_id)
+        assert detail.accounting["job_id"] == job_id
+        assert detail.has_performance
+        assert detail.job_script.startswith("#!")
+        assert set(detail.timeseries) == {
+            "cpu_user", "cpu_system", "mem_used_gb", "mem_bw_gbs", "flops_gf",
+            "io_read_mbs", "io_write_mbs", "block_read_mbs", "block_write_mbs",
+        }
+
+    def test_missing_job(self, viewer):
+        jv, _ = viewer
+        with pytest.raises(JobNotFoundError):
+            jv.fetch("testcluster", 10**9)
+        with pytest.raises(JobNotFoundError):
+            jv.fetch("ghost_resource", 1)
+
+    def test_acl_enforced(self, viewer):
+        jv, job_id = viewer
+        detail = jv.fetch("testcluster", job_id)
+        owner = detail.accounting["user"]
+        store = AccountStore("inst")
+        store.add(Account(owner, roles={Role.USER}))
+        store.add(Account("rando", roles={Role.USER}))
+        store.add(Account("ops", roles={Role.CENTER_STAFF}))
+        assert jv.fetch("testcluster", job_id,
+                        session=store.open_session(owner, "local"))
+        assert jv.fetch("testcluster", job_id,
+                        session=store.open_session("ops", "local"))
+        with pytest.raises(AuthError):
+            jv.fetch("testcluster", job_id,
+                     session=store.open_session("rando", "local"))
+
+    def test_search(self, viewer, job_records):
+        jv, _ = viewer
+        user = job_records[0].user
+        hits = jv.search(user=user, limit=10)
+        assert hits and all(h["user"] == user for h in hits)
+        assert jv.search(state="COMPLETED", limit=5)
+
+
+class TestExport:
+    def test_result_csv_parses(self, aggregated_instance):
+        result = jobs_realm().query(
+            aggregated_instance.schema, "cpu_hours",
+            start=T0, end=END, group_by="queue",
+        )
+        rows = list(csv.reader(io.StringIO(result_to_csv(result))))
+        assert rows[0] == ["group", "period", "metric", "unit", "value"]
+        assert len(rows) == len(result.rows) + 1
+
+    def test_result_json_parses(self, aggregated_instance):
+        result = jobs_realm().query(
+            aggregated_instance.schema, "xdsu", start=T0, end=END,
+        )
+        payload = json.loads(result_to_json(result))
+        assert payload["metric"] == "xdsu"
+        assert payload["rows"]
+
+    def test_chart_csv_matrix(self, builder):
+        chart = builder.timeseries("cpu_hours", start=T0, end=END, group_by="queue")
+        rows = list(csv.reader(io.StringIO(chart_to_csv(chart))))
+        assert rows[0][0] == "period"
+        assert rows[0][1:] == chart.labels
+
+
+class TestAsciiRendering:
+    def test_render_table_contains_all_series(self, builder):
+        chart = builder.timeseries("cpu_hours", start=T0, end=END, group_by="queue")
+        text = render_table(chart)
+        for label in chart.labels:
+            assert label in text
+
+    def test_render_lines(self, builder):
+        chart = builder.timeseries("cpu_hours", start=T0, end=END)
+        text = render_lines(chart)
+        assert "max =" in text
+
+    def test_render_bars(self):
+        text = render_bars(["a", "bb"], [10.0, 5.0], title="t")
+        assert "#" in text and "bb" in text
+        with pytest.raises(ValueError):
+            render_bars(["a"], [1.0, 2.0])
+
+
+class TestReports:
+    def test_generate_markdown_report(self, builder):
+        definition = ReportDefinition(
+            name="monthly", title="Monthly Utilization",
+            charts=(
+                ChartSpec("CPU hours by queue", "cpu_hours", group_by="queue"),
+                ChartSpec("Jobs", "n_jobs_ended"),
+            ),
+        )
+        report = ReportGenerator(builder, instance_label="test").generate(
+            definition, start=T0, end=END
+        )
+        assert "# Monthly Utilization" in report.markdown
+        assert "CPU hours by queue" in report.markdown
+        assert len(report.charts) == 2
+
+    def test_schedule_semantics(self):
+        daily = ReportDefinition("d", "D", (), schedule="daily")
+        monthly = ReportDefinition("m", "M", (), schedule="monthly")
+        quarterly = ReportDefinition("q", "Q", (), schedule="quarterly")
+        assert due_on(daily, ts(2017, 3, 15))
+        assert due_on(monthly, ts(2017, 3, 1))
+        assert not due_on(monthly, ts(2017, 3, 2))
+        assert due_on(quarterly, ts(2017, 4, 1))
+        assert not due_on(quarterly, ts(2017, 3, 1))
+
+    def test_run_schedule(self):
+        days = [ts(2017, 1, d) for d in range(1, 32)]
+        out = run_schedule(
+            [ReportDefinition("d", "D", (), schedule="daily"),
+             ReportDefinition("m", "M", (), schedule="monthly")],
+            days,
+        )
+        assert len(out["d"]) == 31
+        assert len(out["m"]) == 1
+
+    def test_bad_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            ReportDefinition("x", "X", (), schedule="hourly")

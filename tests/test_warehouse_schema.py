@@ -1,0 +1,155 @@
+"""Catalog types: columns, tables, normalization, constraints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.warehouse import (
+    Column,
+    ColumnType,
+    SchemaError,
+    TableSchema,
+    TypeMismatchError,
+    make_columns,
+)
+
+C = ColumnType
+
+
+def simple_schema(**kwargs) -> TableSchema:
+    return TableSchema(
+        "t",
+        make_columns([
+            ("id", C.INT, False),
+            ("name", C.STR),
+            ("score", C.FLOAT),
+        ]),
+        **kwargs,
+    )
+
+
+class TestColumnTypes:
+    def test_int_accepts_int_and_integral_float(self):
+        assert C.INT.validate(5) == 5
+        assert C.INT.validate(5.0) == 5
+
+    def test_int_rejects_bool_and_fraction(self):
+        with pytest.raises(TypeMismatchError):
+            C.INT.validate(True)
+        with pytest.raises(TypeMismatchError):
+            C.INT.validate(5.5)
+        with pytest.raises(TypeMismatchError):
+            C.INT.validate("5")
+
+    def test_float_coerces_int(self):
+        value = C.FLOAT.validate(3)
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            C.FLOAT.validate(False)
+
+    def test_str_strict(self):
+        assert C.STR.validate("x") == "x"
+        with pytest.raises(TypeMismatchError):
+            C.STR.validate(5)
+
+    def test_bool_strict(self):
+        assert C.BOOL.validate(True) is True
+        with pytest.raises(TypeMismatchError):
+            C.BOOL.validate(1)
+
+    def test_timestamp_like_int(self):
+        assert C.TIMESTAMP.validate(1483228800) == 1483228800
+
+    def test_json_accepts_serializable(self):
+        assert C.JSON.validate({"a": [1, 2]}) == {"a": [1, 2]}
+
+    def test_json_rejects_unserializable(self):
+        with pytest.raises(TypeMismatchError):
+            C.JSON.validate({"a": object()})
+
+    def test_none_passes_type_validation(self):
+        assert C.INT.validate(None) is None
+
+
+class TestColumn:
+    def test_bad_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("bad name", C.INT)
+        with pytest.raises(SchemaError):
+            Column("", C.INT)
+
+    def test_default_validated(self):
+        with pytest.raises(TypeMismatchError):
+            Column("x", C.INT, default="nope")
+        assert Column("x", C.INT, default=3.0).default == 3
+
+
+class TestTableSchema:
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", make_columns([("a", C.INT), ("a", C.STR)]))
+
+    def test_pk_must_reference_existing_column(self):
+        with pytest.raises(SchemaError):
+            simple_schema(primary_key=("missing",))
+
+    def test_index_must_reference_existing_column(self):
+        with pytest.raises(SchemaError):
+            simple_schema(indexes=("missing",))
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", ())
+
+    def test_position_and_column_lookup(self):
+        schema = simple_schema()
+        assert schema.position("name") == 1
+        assert schema.column("score").ctype is C.FLOAT
+        with pytest.raises(SchemaError):
+            schema.position("nope")
+
+    def test_normalize_row_applies_defaults_and_order(self):
+        schema = TableSchema(
+            "t",
+            (
+                Column("id", C.INT, nullable=False),
+                Column("kind", C.STR, default="generic"),
+            ),
+            primary_key=("id",),
+        )
+        assert schema.normalize_row({"id": 1}) == (1, "generic")
+
+    def test_normalize_row_rejects_unknown_columns(self):
+        with pytest.raises(SchemaError):
+            simple_schema().normalize_row({"id": 1, "bogus": 2})
+
+    def test_normalize_row_enforces_not_null(self):
+        schema = simple_schema()
+        with pytest.raises(TypeMismatchError):
+            schema.normalize_row({"name": "x"})  # id is non-nullable
+
+    def test_pk_column_implicitly_not_null(self):
+        schema = TableSchema(
+            "t", make_columns([("id", C.INT)]), primary_key=("id",)
+        )
+        with pytest.raises(TypeMismatchError):
+            schema.normalize_row({})
+
+    def test_key_of(self):
+        schema = simple_schema(primary_key=("id",))
+        row = schema.normalize_row({"id": 9, "name": "n", "score": 1.0})
+        assert schema.key_of(row) == (9,)
+        keyless = simple_schema()
+        assert keyless.key_of(row) is None
+
+    def test_composite_key(self):
+        schema = simple_schema(primary_key=("id", "name"))
+        row = schema.normalize_row({"id": 1, "name": "a", "score": None})
+        assert schema.key_of(row) == (1, "a")
+
+    def test_dict_round_trip(self):
+        schema = simple_schema(primary_key=("id",), indexes=("name",))
+        clone = TableSchema.from_dict(schema.to_dict())
+        assert clone == schema

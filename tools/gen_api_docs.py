@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Generate docs/API.md from the package's public exports.
+
+Run from the repository root:  python tools/gen_api_docs.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pathlib
+
+PACKAGES = [
+    "repro", "repro.warehouse", "repro.simulators", "repro.etl",
+    "repro.aggregation", "repro.realms", "repro.core", "repro.auth",
+    "repro.ui", "repro.appkernels", "repro.config", "repro.timeutil",
+]
+
+
+def kind_of(obj) -> str:
+    if inspect.isclass(obj):
+        return "class"
+    if inspect.isfunction(obj):
+        return "function"
+    return "constant"
+
+
+def main() -> None:
+    lines = [
+        "# API reference", "",
+        "Generated from the packages' `__all__` exports "
+        "(`python tools/gen_api_docs.py` regenerates this file).", "",
+    ]
+    for name in PACKAGES:
+        mod = importlib.import_module(name)
+        doc = (mod.__doc__ or "").strip().splitlines()
+        lines.append(f"## `{name}`")
+        lines.append("")
+        if doc:
+            lines.append(doc[0])
+            lines.append("")
+        exports = getattr(mod, "__all__", None)
+        if exports is None:
+            exports = [
+                n for n in dir(mod)
+                if not n.startswith("_")
+                and getattr(getattr(mod, n), "__module__", "").startswith("repro")
+            ]
+        rows = []
+        for export in sorted(exports, key=str.lower):
+            obj = getattr(mod, export, None)
+            odoc = (inspect.getdoc(obj) or "").splitlines()
+            first = odoc[0] if odoc else ""
+            if len(first) > 90:
+                first = first[:87] + "..."
+            rows.append(f"| `{export}` | {kind_of(obj)} | {first} |")
+        if rows:
+            lines.append("| name | kind | summary |")
+            lines.append("|---|---|---|")
+            lines.extend(rows)
+        lines.append("")
+    out = pathlib.Path("docs")
+    out.mkdir(exist_ok=True)
+    (out / "API.md").write_text("\n".join(lines) + "\n")
+    print(f"wrote docs/API.md ({len(lines)} lines)")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,9 @@
 
 from .backup import (
     RegenerationReport,
+    backup_member_to_file,
     regenerate_satellite,
+    restore_satellite_from_file,
     verify_regeneration,
 )
 from .consistency import (
@@ -26,6 +28,7 @@ from .consistency import (
     check_member,
 )
 from .errors import (
+    CircuitOpenError,
     ConsistencyError,
     FederationError,
     IdentityError,
@@ -33,12 +36,33 @@ from .errors import (
     ReplicationError,
     VersionMismatchError,
 )
+from .faults import (
+    FaultPlan,
+    FaultySchema,
+    InjectedFault,
+    PoisonApplyFault,
+    StalledCursor,
+    TransientApplyFault,
+    corrupt_dump_file,
+    inject_apply_faults,
+    stall_binlog,
+    truncate_dump_file,
+)
 from .federation import (
     FED_SCHEMA_PREFIX,
     XDMOD_VERSION,
+    FederationAggregationReport,
     FederationHub,
     FederationMember,
     XdmodInstance,
+)
+from .resilience import (
+    CircuitBreaker,
+    CircuitState,
+    DeadLetter,
+    DeadLetterQueue,
+    MemberSyncOutcome,
+    RetryPolicy,
 )
 from .identity import (
     IdentityMap,
@@ -66,8 +90,16 @@ from .standardize import (
 
 __all__ = [
     "ChannelStats",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "CircuitState",
     "ConsistencyError",
+    "DeadLetter",
+    "DeadLetterQueue",
     "FED_SCHEMA_PREFIX",
+    "FaultPlan",
+    "FaultySchema",
+    "FederationAggregationReport",
     "FederationCheck",
     "FederationError",
     "FederationHub",
@@ -75,14 +107,20 @@ __all__ = [
     "FederationNetwork",
     "IdentityError",
     "IdentityMap",
+    "InjectedFault",
     "FederationMonitor",
     "FederationStatus",
     "LiveReplicator",
     "LiveStats",
     "LooseChannel",
     "MemberStatus",
+    "MemberSyncOutcome",
     "MemberCheck",
     "MembershipError",
+    "PoisonApplyFault",
+    "RetryPolicy",
+    "StalledCursor",
+    "TransientApplyFault",
     "RESOURCE_SCOPED_TABLES",
     "RegenerationReport",
     "ReplicationChannel",
@@ -97,13 +135,19 @@ __all__ = [
     "XdmodInstance",
     "check_federation",
     "check_member",
+    "corrupt_dump_file",
     "federated_user_counts",
     "federation_resource_names",
     "filter_for_hub",
+    "inject_apply_faults",
     "qualified_identity",
     "regenerate_satellite",
+    "restore_satellite_from_file",
+    "backup_member_to_file",
+    "stall_binlog",
     "standardization_report",
     "standardize_federation",
     "supremm_summary_filter",
+    "truncate_dump_file",
     "verify_regeneration",
 ]

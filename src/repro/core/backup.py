@@ -16,11 +16,57 @@ rather than hides.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
 
 from ..etl.pipeline import WAREHOUSE_SCHEMA
-from ..warehouse import Database, Schema, dump_schema, load_schema
+from ..warehouse import (
+    Database,
+    Schema,
+    dump_schema,
+    load_schema,
+    read_dump_file,
+    write_dump_file,
+)
+from ..warehouse.dump import dump_checksum
 from .errors import ConsistencyError, MembershipError
 from .federation import FederationHub
+
+
+def _member_dump(hub: FederationHub, member_name: str) -> dict[str, Any]:
+    """Dump a member's hub-side schema, aggregates stripped, re-checksummed."""
+    member = hub.member(member_name)
+    if not hub.database.has_schema(member.fed_schema):
+        raise MembershipError(
+            f"hub holds no replicated schema for {member_name!r}"
+        )
+    source = hub.database.schema(member.fed_schema)
+    dump = dump_schema(source)
+    dump["tables"] = [
+        entry
+        for entry in dump["tables"]
+        if not entry["schema"]["name"].startswith("agg_")
+    ]
+    # subset of tables: recompute the checksum over what actually ships
+    dump["checksum"] = dump_checksum(dump)
+    return dump
+
+
+def _restore(
+    dump: dict[str, Any],
+    member_name: str,
+    target_database: Database | None,
+    schema_name: str,
+) -> Database:
+    database = target_database or Database(f"{member_name}_restored")
+    load_schema(
+        database,
+        dump,
+        rename_to=schema_name,
+        replace=True,
+        verify_checksum=True,
+    )
+    return database
 
 
 def regenerate_satellite(
@@ -36,28 +82,35 @@ def regenerate_satellite(
     replicated tables.  ``agg_*`` tables are not restored — the regenerated
     instance re-runs its own aggregation, exactly as after any restore.
     """
-    member = hub.member(member_name)
-    if not hub.database.has_schema(member.fed_schema):
-        raise MembershipError(
-            f"hub holds no replicated schema for {member_name!r}"
-        )
-    source = hub.database.schema(member.fed_schema)
-    dump = dump_schema(source)
-    dump["tables"] = [
-        entry
-        for entry in dump["tables"]
-        if not entry["schema"]["name"].startswith("agg_")
-    ]
-    dump.pop("checksum", None)  # subset of tables; recompute meaningless
-    database = target_database or Database(f"{member_name}_restored")
-    load_schema(
-        database,
-        dump,
-        rename_to=schema_name,
-        replace=True,
-        verify_checksum=False,
-    )
-    return database
+    dump = _member_dump(hub, member_name)
+    return _restore(dump, member_name, target_database, schema_name)
+
+
+def backup_member_to_file(
+    hub: FederationHub, member_name: str, path: str | Path
+) -> Path:
+    """Write a member's hub-side backup dump to disk (gzip JSON).
+
+    The on-disk artifact is exactly what :func:`restore_satellite_from_file`
+    consumes, checksummed so damage in storage is detected at restore time.
+    """
+    return write_dump_file(_member_dump(hub, member_name), path)
+
+
+def restore_satellite_from_file(
+    path: str | Path,
+    member_name: str,
+    *,
+    target_database: Database | None = None,
+    schema_name: str = WAREHOUSE_SCHEMA,
+) -> Database:
+    """Rebuild a satellite from a :func:`backup_member_to_file` artifact.
+
+    A corrupted backup file raises :class:`~repro.warehouse.DumpError`
+    instead of materializing a damaged warehouse.
+    """
+    dump = read_dump_file(path)
+    return _restore(dump, member_name, target_database, schema_name)
 
 
 @dataclass(frozen=True)

@@ -59,9 +59,16 @@ def _jobs_totals(schema: Schema) -> dict[str, float]:
 
 
 def check_member(hub: FederationHub, member_name: str) -> MemberCheck:
-    """Table-level fidelity check for one member."""
+    """Table-level fidelity check for one member.
+
+    A member whose schema never replicated (e.g. its first loose shipment
+    failed) yields an empty, non-failing check — the monitor reports it
+    degraded through lag and circuit state instead of crashing here.
+    """
     member = hub.member(member_name)
     satellite = member.instance.schema
+    if not hub.database.has_schema(member.fed_schema):
+        return MemberCheck(member_name, (), False)
     hub_schema = hub.database.schema(member.fed_schema)
     channel_filter = (
         member.channel.filter
@@ -134,6 +141,11 @@ def check_federation(
     for member in hub.members:
         check = check_member(hub, member.name)
         member_checks.append(check)
+        if not hub.database.has_schema(member.fed_schema):
+            hub_totals[member.name] = {
+                "n_jobs": 0.0, "cpu_hours": 0.0, "xdsu": 0.0,
+            }
+            continue
         if not check.filtered:
             satellite_totals[member.name] = _jobs_totals(member.instance.schema)
         hub_totals[member.name] = _jobs_totals(

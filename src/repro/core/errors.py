@@ -23,6 +23,11 @@ class ReplicationError(FederationError):
     """A replication channel failed to apply events."""
 
 
+class CircuitOpenError(FederationError):
+    """An operation was refused because the member's circuit breaker is
+    open (the member failed repeatedly and is cooling down)."""
+
+
 class ConsistencyError(FederationError):
     """A hub/satellite consistency invariant was violated."""
 

@@ -22,6 +22,12 @@ from ..warehouse import Database, Schema
 from .errors import MembershipError, VersionMismatchError
 from .loose import LooseChannel
 from .replicator import ReplicationChannel, ReplicationFilter
+from .resilience import (
+    CircuitBreaker,
+    CircuitState,
+    MemberSyncOutcome,
+    RetryPolicy,
+)
 
 #: The XDMoD release this codebase models (Open XDMoD contemporary with
 #: the paper; SSO shipped in 6.5, federation developed against 8.0).
@@ -79,17 +85,50 @@ class XdmodInstance:
 
 @dataclass
 class FederationMember:
-    """Hub-side registration of one satellite."""
+    """Hub-side registration of one satellite.
+
+    Every member carries a :class:`CircuitBreaker`: repeated sync
+    failures stop the member from consuming sync cycles (OPEN), and the
+    breaker automatically re-probes it after a cooldown (HALF_OPEN).
+    """
 
     instance: XdmodInstance
     mode: str  # "tight" | "loose"
     fed_schema: str
     channel: ReplicationChannel | None = None
     loose_channel: LooseChannel | None = None
+    breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
+    last_error: str = ""
 
     @property
     def name(self) -> str:
         return self.instance.name
+
+    @property
+    def dead_letter_depth(self) -> int:
+        return len(self.channel.dead_letters) if self.channel else 0
+
+
+@dataclass(frozen=True)
+class FederationAggregationReport:
+    """What the last :meth:`FederationHub.aggregate_federation` covered.
+
+    The unified view can proceed over healthy members while being honest
+    about the rest: ``skipped`` members contributed nothing this round
+    (and why), ``stale`` members contributed data that lags their
+    satellite, ``quarantined`` members have dead-lettered events excluded
+    from their contribution.
+    """
+
+    aggregated: tuple[str, ...] = ()
+    skipped: Mapping[str, str] = field(default_factory=dict)
+    stale: Mapping[str, int] = field(default_factory=dict)
+    quarantined: Mapping[str, int] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        """True when every member contributed fresh, whole data."""
+        return not (self.skipped or self.stale or self.quarantined)
 
 
 class FederationHub(XdmodInstance):
@@ -109,6 +148,7 @@ class FederationHub(XdmodInstance):
             name, version=version, aggregation=aggregation, conversion=conversion
         )
         self._members: dict[str, FederationMember] = {}
+        self.last_aggregation = FederationAggregationReport()
 
     # -- membership -----------------------------------------------------------
 
@@ -119,12 +159,19 @@ class FederationHub(XdmodInstance):
         mode: str = "tight",
         filter: ReplicationFilter | None = None,
         initial_sync: bool = True,
+        retry_policy: RetryPolicy | None = None,
+        quarantine: bool = False,
+        breaker: CircuitBreaker | None = None,
     ) -> FederationMember:
         """Add a satellite to the federation.
 
         Enforces the version requirement, provisions the hub-side schema,
         and (for tight mode) opens a replication channel from the
         satellite's binlog position 0 so all historical data replicates.
+
+        ``retry_policy`` and ``quarantine`` configure the member's tight
+        channel (see :class:`~repro.core.ReplicationChannel`); ``breaker``
+        overrides the member's default circuit breaker.
         """
         if satellite.version != self.version:
             raise VersionMismatchError(
@@ -142,10 +189,16 @@ class FederationHub(XdmodInstance):
         member = FederationMember(
             instance=satellite, mode=mode, fed_schema=fed_schema_name
         )
+        if breaker is not None:
+            member.breaker = breaker
         if mode == "tight":
             target = self.database.ensure_schema(fed_schema_name)
             member.channel = ReplicationChannel(
-                satellite.schema, target, filter=filter
+                satellite.schema,
+                target,
+                filter=filter,
+                retry_policy=retry_policy,
+                quarantine=quarantine,
             )
             if initial_sync:
                 member.channel.catch_up()
@@ -181,34 +234,98 @@ class FederationHub(XdmodInstance):
 
     # -- data movement ------------------------------------------------------------
 
-    def sync(self, *, batch: int | None = None) -> dict[str, int]:
-        """Pump every channel once; returns events/rows applied per member.
+    def sync(self, *, batch: int | None = None) -> dict[str, MemberSyncOutcome]:
+        """Pump every channel once; returns a per-member outcome.
 
         Tight members stream binlog events; loose members re-ship their
         dump only when called through :meth:`ship_loose` (live sync leaves
         them stale, as the real mechanism would).
+
+        Failures are isolated per member: one satellite's broken channel
+        never stops the others from replicating.  A failing member's
+        outcome carries the error, its circuit breaker is notified, and —
+        once the breaker opens — subsequent cycles skip the member
+        (``circuit_open``) until the cooldown elapses and a probe either
+        recovers it or re-opens the circuit.  The outcomes compare as the
+        number of events applied, so ``sync()["site"] > 0`` and
+        ``sum(sync().values())`` behave as before.
         """
-        out: dict[str, int] = {}
+        out: dict[str, MemberSyncOutcome] = {}
         for member in self.members:
-            if member.channel is not None:
-                out[member.name] = (
+            if member.channel is None:
+                out[member.name] = MemberSyncOutcome(member.name, "idle", 0)
+                continue
+            if not member.breaker.allow():
+                out[member.name] = MemberSyncOutcome(
+                    member.name, "circuit_open", 0,
+                    error=member.breaker.last_error,
+                )
+                continue
+            stats = member.channel.stats
+            retries_before = stats.retries
+            quarantined_before = stats.events_quarantined
+            try:
+                applied = (
                     member.channel.catch_up()
                     if batch is None
                     else member.channel.pump(batch)
                 )
-            else:
-                out[member.name] = 0
+            except Exception as exc:
+                member.breaker.record_failure(str(exc))
+                member.last_error = str(exc)
+                out[member.name] = MemberSyncOutcome(
+                    member.name, "failed", 0,
+                    retried=stats.retries - retries_before,
+                    error=str(exc),
+                )
+                continue
+            member.breaker.record_success()
+            member.last_error = ""
+            retried = stats.retries - retries_before
+            quarantined = stats.events_quarantined - quarantined_before
+            status = (
+                "quarantined" if quarantined
+                else "retried" if retried
+                else "applied"
+            )
+            out[member.name] = MemberSyncOutcome(
+                member.name, status, applied,
+                retried=retried, quarantined=quarantined,
+            )
         return out
 
-    def ship_loose(self) -> dict[str, int]:
-        """Re-ship every loose member's dump; returns rows loaded."""
-        out: dict[str, int] = {}
+    def ship_loose(self) -> dict[str, MemberSyncOutcome]:
+        """Re-ship every loose member's dump; returns per-member outcomes
+        whose value is the number of rows loaded.
+
+        Like :meth:`sync`, failures (e.g. a corrupt dump file rejected by
+        checksum verification) are isolated per member and feed the
+        member's circuit breaker; the previous good shipment stays live
+        on the hub.
+        """
+        out: dict[str, MemberSyncOutcome] = {}
         for member in self.members:
-            if member.loose_channel is not None:
-                schema = member.loose_channel.ship()
-                out[member.name] = sum(
-                    len(schema.table(t)) for t in schema.table_names()
+            if member.loose_channel is None:
+                continue
+            if not member.breaker.allow():
+                out[member.name] = MemberSyncOutcome(
+                    member.name, "circuit_open", 0,
+                    error=member.breaker.last_error,
                 )
+                continue
+            try:
+                schema = member.loose_channel.ship()
+            except Exception as exc:
+                member.breaker.record_failure(str(exc))
+                member.last_error = str(exc)
+                out[member.name] = MemberSyncOutcome(
+                    member.name, "failed", 0, error=str(exc)
+                )
+                continue
+            member.breaker.record_success()
+            member.last_error = ""
+            rows = sum(len(schema.table(t)) for t in schema.table_names())
+            out[member.name] = MemberSyncOutcome(member.name, "applied", rows)
         return out
 
     def lag(self) -> dict[str, int]:
@@ -241,11 +358,43 @@ class FederationHub(XdmodInstance):
         "All raw instance data are fully replicated to the master, then
         aggregated there, according to the federation hub's aggregation
         levels, so no data are lost or changed."
+
+        Degraded mode: members whose circuit is open, whose schema never
+        replicated, or whose aggregation raises are *skipped* — the
+        healthy members still aggregate — and the skip reasons, along
+        with stale (lagging) and quarantined members, are recorded in
+        :attr:`last_aggregation` for the monitor to surface.
         """
         out: dict[str, dict[str, int]] = {}
-        for name, schema in self.federated_schemas().items():
-            aggregator = Aggregator(schema, self.aggregation)
-            out[name] = aggregator.aggregate_all(periods)
+        skipped: dict[str, str] = {}
+        stale: dict[str, int] = {}
+        quarantined: dict[str, int] = {}
+        lag = self.lag()
+        schemas = self.federated_schemas()
+        for member in self.members:
+            if member.name not in schemas:
+                skipped[member.name] = "no replicated schema on hub"
+        for name, schema in schemas.items():
+            member = self._members.get(name)
+            if member is not None and member.breaker.state is CircuitState.OPEN:
+                skipped[name] = "circuit open"
+                continue
+            try:
+                aggregator = Aggregator(schema, self.aggregation)
+                out[name] = aggregator.aggregate_all(periods)
+            except Exception as exc:
+                skipped[name] = str(exc)
+                continue
+            if lag.get(name, 0) > 0:
+                stale[name] = lag[name]
+            if member is not None and member.dead_letter_depth:
+                quarantined[name] = member.dead_letter_depth
+        self.last_aggregation = FederationAggregationReport(
+            aggregated=tuple(sorted(out)),
+            skipped=skipped,
+            stale=stale,
+            quarantined=quarantined,
+        )
         return out
 
     def reaggregate_federation(

@@ -20,7 +20,15 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any
 
-from ..warehouse import Database, Schema, dump_schema, load_schema, read_dump_file
+from ..warehouse import (
+    Database,
+    Schema,
+    dump_schema,
+    load_schema,
+    read_dump_file,
+    write_dump_file,
+)
+from ..warehouse.dump import dump_checksum
 from .replicator import (
     RESOURCE_SCOPED_TABLES,
     ReplicationChannel,
@@ -60,9 +68,9 @@ def _filtered_dump(source: Schema, filter: ReplicationFilter) -> dict[str, Any]:
         ]
         tables.append({"schema": entry["schema"], "rows": rows})
     full["tables"] = tables
-    # checksum covered the unfiltered content; recompute is meaningless
-    # here, so drop it and let load skip verification.
-    full.pop("checksum", None)
+    # the original checksum covered the unfiltered content; recompute it
+    # over the filtered document so the hub can verify exactly what ships
+    full["checksum"] = dump_checksum(full)
     return full
 
 
@@ -92,13 +100,7 @@ class LooseChannel:
         """Snapshot the satellite and load it into the hub, replacing the
         previous shipment.  Returns the hub-side schema."""
         dump = self.export()
-        schema = load_schema(
-            self.hub_database,
-            dump,
-            rename_to=self.target_schema_name,
-            replace=True,
-            verify_checksum=False,
-        )
+        schema = self._load(dump)
         self.last_shipped_lsn = dump["binlog_head"]
         self.shipments += 1
         return schema
@@ -106,23 +108,29 @@ class LooseChannel:
     def ship_via_file(self, path: str | Path) -> Schema:
         """Ship through an on-disk dump file (the literal paper mechanism:
         'database dumps could be periodically shipped to the federation
-        hub')."""
-        import gzip
-        import json
+        hub').
 
-        dump = self.export()
-        Path(path).write_bytes(gzip.compress(json.dumps(dump, default=str).encode()))
+        The received file is checksum-verified before loading: a dump
+        corrupted or truncated in transit raises
+        :class:`~repro.warehouse.DumpError` and the previous shipment (if
+        any) stays in place on the hub.
+        """
+        write_dump_file(self.export(), path)
         received = read_dump_file(path)
-        schema = load_schema(
-            self.hub_database,
-            received,
-            rename_to=self.target_schema_name,
-            replace=True,
-            verify_checksum=False,
-        )
-        self.last_shipped_lsn = dump["binlog_head"]
+        schema = self._load(received)
+        self.last_shipped_lsn = received["binlog_head"]
         self.shipments += 1
         return schema
+
+    def _load(self, dump: dict[str, Any]) -> Schema:
+        """Verified load into the hub's per-instance schema."""
+        return load_schema(
+            self.hub_database,
+            dump,
+            rename_to=self.target_schema_name,
+            replace=True,
+            verify_checksum=True,
+        )
 
     @property
     def staleness(self) -> int:

@@ -5,6 +5,12 @@ members are connected, how far behind each channel is, how much data each
 replicated schema holds, and whether the consistency invariants currently
 hold.  :class:`FederationMonitor` assembles that status snapshot and
 renders it as the text panel an ops dashboard (or a cron email) would show.
+
+With the resilience layer, the snapshot also carries each member's failure
+posture: circuit-breaker state, retry totals, dead-letter depth, and the
+last error seen — the numbers an operator needs to decide between waiting
+(transient), replaying the dead-letter queue (poison fixed), and paging
+someone (member down, circuit open).
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from typing import Mapping
 
 from .consistency import check_federation
 from .federation import FederationHub
+from .resilience import CircuitState
 
 
 @dataclass(frozen=True)
@@ -29,6 +36,25 @@ class MemberStatus:
     events_applied: int
     events_filtered: int
     consistent: bool
+    circuit_state: str = CircuitState.CLOSED.value
+    retries: int = 0
+    dead_letters: int = 0
+    last_error: str = ""
+
+    @property
+    def health(self) -> str:
+        """One-word operator verdict for this member."""
+        if self.circuit_state == CircuitState.OPEN.value:
+            return "CIRCUIT-OPEN"
+        if self.dead_letters:
+            return "quarantined"
+        if not self.consistent:
+            return "INCONSISTENT"
+        if self.circuit_state == CircuitState.HALF_OPEN.value:
+            return "probing"
+        if self.lag_events:
+            return "lagging"
+        return "ok"
 
 
 @dataclass(frozen=True)
@@ -47,7 +73,7 @@ class FederationStatus:
     @property
     def degraded_members(self) -> tuple[str, ...]:
         return tuple(
-            m.name for m in self.members if not m.consistent or m.lag_events > 0
+            m.name for m in self.members if m.health != "ok"
         )
 
 
@@ -63,7 +89,11 @@ class FederationMonitor:
         by_member = {m.member: m for m in check.members}
         members = []
         for member in self.hub.members:
-            schema = self.hub.database.schema(member.fed_schema)
+            has_schema = self.hub.database.has_schema(member.fed_schema)
+            schema = (
+                self.hub.database.schema(member.fed_schema)
+                if has_schema else None
+            )
             stats = member.channel.stats if member.channel else None
             member_check = by_member.get(member.name)
             consistent = bool(
@@ -75,14 +105,21 @@ class FederationMonitor:
                     mode=member.mode,
                     lag_events=lag.get(member.name, 0),
                     fed_schema=member.fed_schema,
-                    tables=len(schema.table_names()),
+                    tables=len(schema.table_names()) if schema else 0,
                     fact_job_rows=(
                         len(schema.table("fact_job"))
-                        if schema.has_table("fact_job") else 0
+                        if schema and schema.has_table("fact_job") else 0
                     ),
                     events_applied=stats.events_applied if stats else 0,
                     events_filtered=stats.events_filtered if stats else 0,
                     consistent=consistent,
+                    circuit_state=member.breaker.state.value,
+                    retries=stats.retries if stats else 0,
+                    dead_letters=member.dead_letter_depth,
+                    last_error=(
+                        stats.last_error if stats and stats.last_error
+                        else member.last_error
+                    ),
                 )
             )
         return FederationStatus(
@@ -100,17 +137,17 @@ class FederationMonitor:
             f"Federation hub: {status.hub}",
             "=" * (17 + len(status.hub)),
             f"{'member':<{name_w}}{'mode':<7}{'lag':>6}{'jobs':>9}"
-            f"{'applied':>9}{'filtered':>9}  state",
+            f"{'applied':>9}{'filtered':>9}{'retries':>9}{'dlq':>5}  state",
         ]
         for member in status.members:
-            state = "ok" if member.consistent and member.lag_events == 0 else (
-                "lagging" if member.consistent else "INCONSISTENT"
-            )
             lines.append(
                 f"{member.name:<{name_w}}{member.mode:<7}{member.lag_events:>6}"
                 f"{member.fact_job_rows:>9}{member.events_applied:>9}"
-                f"{member.events_filtered:>9}  {state}"
+                f"{member.events_filtered:>9}{member.retries:>9}"
+                f"{member.dead_letters:>5}  {member.health}"
             )
+            if member.last_error:
+                lines.append(f"{'':<{name_w}}  last error: {member.last_error}")
         totals = status.totals
         lines.append(
             f"federation totals: {totals.get('n_jobs', 0):,.0f} jobs, "
@@ -120,4 +157,22 @@ class FederationMonitor:
         lines.append(
             "consistency: " + ("OK" if status.all_consistent else "VIOLATED")
         )
+        report = self.hub.last_aggregation
+        if report.skipped or report.quarantined:
+            parts = []
+            if report.skipped:
+                parts.append(
+                    "skipped: " + ", ".join(
+                        f"{name} ({why})"
+                        for name, why in sorted(report.skipped.items())
+                    )
+                )
+            if report.quarantined:
+                parts.append(
+                    "quarantined events: " + ", ".join(
+                        f"{name}={n}"
+                        for name, n in sorted(report.quarantined.items())
+                    )
+                )
+            lines.append("last aggregation: " + "; ".join(parts))
         return "\n".join(lines)

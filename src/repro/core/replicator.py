@@ -32,6 +32,7 @@ from ..etl.perfingest import HEAVY_TABLES
 from ..etl.star import JOBS_REALM_TABLES
 from ..warehouse import BinlogCursor, BinlogEvent, EventType, Schema
 from .errors import ReplicationError
+from .resilience import DeadLetterQueue, RetryPolicy
 
 #: Tables holding user-profile data, never replicated (Section II-C1:
 #: "user profile information [is] presently excluded").
@@ -142,16 +143,43 @@ class ReplicationFilter:
 
 @dataclass
 class ChannelStats:
-    """Lifetime counters for one channel (exposed for monitoring)."""
+    """Lifetime counters for one channel (exposed for monitoring).
+
+    ``events_seen`` counts events whose processing *finished* (applied,
+    filtered, or quarantined) — an event whose apply fails and will be
+    re-polled is not counted until it resolves, so the counters add up
+    under partial batches: ``events_seen == events_applied +
+    events_filtered + events_quarantined``.  ``syncs`` counts every pump,
+    including ones that raised.
+    """
 
     events_seen: int = 0
     events_applied: int = 0
     events_filtered: int = 0
+    events_quarantined: int = 0
     syncs: int = 0
+    retries: int = 0
+    apply_failures: int = 0
+    backoff_s: float = 0.0
+    last_error: str = ""
 
 
 class ReplicationChannel:
-    """One satellite schema -> one hub schema, with resumable position."""
+    """One satellite schema -> one hub schema, with resumable position.
+
+    The resilience knobs (both off by default, preserving strict
+    fail-stop semantics):
+
+    retry_policy:
+        When set, a failed apply is retried per the policy's backoff
+        schedule before being treated as a hard failure — transient hub
+        errors never surface at all.
+    quarantine:
+        When true, an event that still fails after retries is moved to
+        :attr:`dead_letters` and the cursor advances past it, so one
+        poison event cannot wedge the channel forever.  Quarantined
+        events are re-applied later through :meth:`replay`.
+    """
 
     def __init__(
         self,
@@ -160,48 +188,112 @@ class ReplicationChannel:
         *,
         filter: ReplicationFilter | None = None,
         start_lsn: int = 0,
+        retry_policy: RetryPolicy | None = None,
+        quarantine: bool = False,
     ) -> None:
         self.source = source
         self.target = target
         self.filter = filter or ReplicationFilter()
         self.cursor = BinlogCursor(source.binlog, start_lsn)
         self.stats = ChannelStats()
+        self.retry_policy = retry_policy
+        self.quarantine = quarantine
+        self.dead_letters = DeadLetterQueue()
 
     @property
     def lag(self) -> int:
         """Unreplicated events waiting in the source binlog."""
         return self.cursor.lag
 
+    def _try_apply(self, event: BinlogEvent) -> Exception | None:
+        """Apply one event with retries; returns the final error, if any."""
+        policy = self.retry_policy
+        attempts = policy.attempts() if policy else iter((0,))
+        last_exc: Exception | None = None
+        for attempt in attempts:
+            if attempt:
+                self.stats.retries += 1
+                if policy is not None:
+                    self.stats.backoff_s += policy.delay(attempt - 1)
+            try:
+                self.target.apply_event(event)
+                return None
+            except Exception as exc:
+                last_exc = exc
+                self.stats.apply_failures += 1
+                self.stats.last_error = str(exc)
+        return last_exc
+
     def pump(self, max_events: int | None = None) -> int:
         """Apply pending events to the hub; returns events applied.
 
-        Event application is wrapped so a poison event surfaces as
-        :class:`ReplicationError` naming the LSN — the cursor is NOT
-        advanced past it (at-least-once delivery; appliers are idempotent).
+        An event whose apply fails (after any configured retries) either
+        raises :class:`ReplicationError` naming the LSN — the cursor is
+        NOT advanced past it (at-least-once delivery; appliers are
+        idempotent) — or, with ``quarantine`` enabled, is dead-lettered
+        and skipped so the rest of the batch still replicates.
         """
         events = self.cursor.poll(max_events)
         applied = 0
-        for event in events:
-            self.stats.events_seen += 1
-            if self.filter.admit(event):
-                try:
-                    self.target.apply_event(event)
-                except Exception as exc:
-                    raise ReplicationError(
-                        f"channel {self.source.name!r}->{self.target.name!r}: "
-                        f"failed applying LSN {event.lsn}: {exc}"
-                    ) from exc
-                self.stats.events_applied += 1
-                applied += 1
-            else:
-                self.stats.events_filtered += 1
-            self.cursor.commit(event.lsn)
-        self.stats.syncs += 1
+        try:
+            for event in events:
+                if self.filter.admit(event):
+                    error = self._try_apply(event)
+                    if error is not None:
+                        attempts = 1 + (
+                            self.retry_policy.max_retries if self.retry_policy else 0
+                        )
+                        if not self.quarantine:
+                            raise ReplicationError(
+                                f"channel {self.source.name!r}->"
+                                f"{self.target.name!r}: failed applying "
+                                f"LSN {event.lsn}: {error}"
+                            ) from error
+                        self.dead_letters.add(event, str(error), attempts)
+                        self.stats.events_quarantined += 1
+                    else:
+                        self.stats.events_applied += 1
+                        applied += 1
+                else:
+                    self.stats.events_filtered += 1
+                self.stats.events_seen += 1
+                self.cursor.commit(event.lsn)
+        finally:
+            self.stats.syncs += 1
         return applied
 
+    def replay(self, lsns: Sequence[int] | None = None) -> int:
+        """Re-apply dead-lettered events (after the cause is fixed).
+
+        ``lsns`` selects specific letters (default: all, in LSN order).
+        Events that apply cleanly leave the queue and count as applied;
+        events that fail again stay quarantined.  Returns the number
+        successfully replayed.
+        """
+        targets = list(lsns) if lsns is not None else self.dead_letters.lsns()
+        replayed = 0
+        for lsn in targets:
+            if lsn not in self.dead_letters:
+                continue
+            letter = self.dead_letters.get(lsn)
+            if self._try_apply(letter.event) is None:
+                self.dead_letters.remove(lsn)
+                self.stats.events_applied += 1
+                self.stats.events_quarantined -= 1
+                replayed += 1
+        return replayed
+
     def catch_up(self, batch: int = 1000) -> int:
-        """Pump until no lag remains; returns total events applied."""
+        """Pump until no lag remains; returns total events applied.
+
+        Bails out (rather than spinning) if a pump makes no forward
+        progress — a stalled binlog tailer leaves lag in place without
+        delivering events.
+        """
         total = 0
         while self.lag:
+            position = self.cursor.position
             total += self.pump(batch)
+            if self.cursor.position == position:
+                break
         return total

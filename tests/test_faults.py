@@ -1,0 +1,192 @@
+"""Fault injection: deterministic failures for schemas, cursors, dumps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    FaultPlan,
+    FaultySchema,
+    LooseChannel,
+    PoisonApplyFault,
+    ReplicationChannel,
+    ReplicationError,
+    RetryPolicy,
+    TransientApplyFault,
+    corrupt_dump_file,
+    inject_apply_faults,
+    stall_binlog,
+    truncate_dump_file,
+)
+from repro.etl import ParsedJob, ingest_jobs
+from repro.timeutil import ts
+from repro.warehouse import Database, DumpError, dump_schema, read_dump_file
+from repro.warehouse.dump import dump_checksum
+
+
+def make_job(job_id, resource="r1"):
+    return ParsedJob(
+        job_id=job_id, user="u", pi="p", queue="q", application="a",
+        submit_ts=ts(2017, 1, 1), start_ts=ts(2017, 1, 1, 1),
+        end_ts=ts(2017, 1, 1, 3), nodes=1, cores=2, req_walltime_s=7200,
+        state="COMPLETED", exit_code=0, resource=resource,
+    )
+
+
+@pytest.fixture()
+def satellite_schema():
+    schema = Database("sat").create_schema("modw")
+    ingest_jobs(schema, [make_job(i) for i in range(5)])
+    return schema
+
+
+class TestFaultPlan:
+    def test_transient_rate_is_seed_deterministic(self):
+        a = FaultPlan(seed=11, transient_rate=0.4)
+        b = FaultPlan(seed=11, transient_rate=0.4)
+        c = FaultPlan(seed=12, transient_rate=0.4)
+        picks_a = [a.is_transient(lsn) for lsn in range(200)]
+        assert picks_a == [b.is_transient(lsn) for lsn in range(200)]
+        assert picks_a != [c.is_transient(lsn) for lsn in range(200)]
+        assert 0 < sum(picks_a) < 200  # the rate actually selects a subset
+
+    def test_transient_clears_after_burst(self):
+        plan = FaultPlan(transient_lsns={5}, transient_burst=2)
+        assert isinstance(plan.should_fail(5, 0), TransientApplyFault)
+        assert isinstance(plan.should_fail(5, 1), TransientApplyFault)
+        assert plan.should_fail(5, 2) is None
+        assert plan.should_fail(6, 0) is None
+
+    def test_poison_fails_until_healed(self):
+        plan = FaultPlan(poison_lsns={9})
+        assert isinstance(plan.should_fail(9, 0), PoisonApplyFault)
+        assert isinstance(plan.should_fail(9, 99), PoisonApplyFault)
+        plan.heal(9)
+        assert plan.should_fail(9, 100) is None
+
+    def test_heal_all(self):
+        plan = FaultPlan(poison_lsns={1, 2})
+        plan.heal()
+        assert plan.should_fail(1, 0) is None
+        assert plan.should_fail(2, 0) is None
+
+
+class TestFaultySchema:
+    def test_delegates_everything_else(self, satellite_schema):
+        hub = Database("hub").create_schema("fed_sat")
+        faulty = FaultySchema(hub, FaultPlan())
+        assert faulty.name == "fed_sat"
+        assert faulty.table_names() == []
+
+    def test_transient_fault_absorbed_by_retry(self, satellite_schema):
+        hub_db = Database("hub")
+        target = hub_db.create_schema("fed_sat")
+        channel = ReplicationChannel(
+            satellite_schema, target,
+            retry_policy=RetryPolicy(max_retries=2, seed=0),
+        )
+        head = satellite_schema.binlog.head_lsn
+        wrapper = inject_apply_faults(
+            channel, FaultPlan(transient_lsns=set(range(head)), transient_burst=1)
+        )
+        applied = channel.catch_up()
+        assert applied > 0
+        assert channel.lag == 0
+        assert wrapper.faults_raised > 0
+        assert channel.stats.retries >= wrapper.faults_raised
+        assert target.table("fact_job").checksum() == (
+            satellite_schema.table("fact_job").checksum()
+        )
+
+    def test_fault_beyond_retries_surfaces(self, satellite_schema):
+        channel = ReplicationChannel(
+            satellite_schema, Database("hub").create_schema("fed_sat"),
+            retry_policy=RetryPolicy(max_retries=1),
+        )
+        head = satellite_schema.binlog.head_lsn
+        inject_apply_faults(
+            channel,
+            FaultPlan(transient_lsns=set(range(head)), transient_burst=10),
+        )
+        with pytest.raises(ReplicationError):
+            channel.pump()
+
+
+class TestStalledCursor:
+    def test_stall_then_resume(self, satellite_schema):
+        hub_db = Database("hub")
+        channel = ReplicationChannel(
+            satellite_schema, hub_db.create_schema("fed_sat")
+        )
+        wrapper = stall_binlog(channel, polls=2)
+        assert channel.pump() == 0  # stalled: nothing delivered
+        assert channel.lag > 0  # but lag is still visible
+        assert channel.pump() == 0
+        assert not wrapper.stalled
+        assert channel.catch_up() > 0  # stall cleared: catches up fully
+        assert channel.lag == 0
+
+    def test_catch_up_does_not_spin_while_stalled(self, satellite_schema):
+        channel = ReplicationChannel(
+            satellite_schema, Database("hub").create_schema("fed_sat")
+        )
+        stall_binlog(channel, polls=10**6)
+        assert channel.catch_up() == 0  # bails out instead of spinning
+        assert channel.lag > 0
+
+
+class TestDumpDamage:
+    def test_dump_checksum_matches_schema_checksum(self, satellite_schema):
+        dump = dump_schema(satellite_schema)
+        assert dump_checksum(dump) == satellite_schema.checksum()
+        assert dump["checksum"] == dump_checksum(dump)
+
+    def test_payload_corruption_caught_by_checksum(
+        self, satellite_schema, tmp_path
+    ):
+        path = tmp_path / "sat.dump.gz"
+        channel = LooseChannel(satellite_schema, Database("hub"), "fed_sat")
+        channel.ship_via_file(path)
+        corrupt_dump_file(path, seed=3, mode="payload")
+        received = read_dump_file(path)  # still parses...
+        assert dump_checksum(received) != received["checksum"]  # ...but lies
+
+    def test_raw_corruption_breaks_parse_or_framing(
+        self, satellite_schema, tmp_path
+    ):
+        path = tmp_path / "sat.dump.gz"
+        LooseChannel(satellite_schema, Database("hub"), "fed_sat").ship_via_file(
+            path
+        )
+        corrupt_dump_file(path, seed=4, mode="raw")
+        with pytest.raises(DumpError):
+            read_dump_file(path)
+
+    def test_truncated_file_rejected(self, satellite_schema, tmp_path):
+        path = tmp_path / "sat.dump.gz"
+        LooseChannel(satellite_schema, Database("hub"), "fed_sat").ship_via_file(
+            path
+        )
+        truncate_dump_file(path, keep_fraction=0.5)
+        with pytest.raises(DumpError):
+            read_dump_file(path)
+
+    def test_corruption_is_deterministic(self, satellite_schema, tmp_path):
+        (tmp_path / "d1").mkdir()
+        (tmp_path / "d2").mkdir()
+        a, b = tmp_path / "d1" / "x.gz", tmp_path / "d2" / "x.gz"
+        channel = LooseChannel(satellite_schema, Database("hub"), "fed_sat")
+        channel.ship_via_file(a)
+        channel.ship_via_file(b)
+        corrupt_dump_file(a, seed=7, mode="payload")
+        corrupt_dump_file(b, seed=7, mode="payload")
+        # same seed, same source bytes => byte-identical damage
+        assert read_dump_file(a) == read_dump_file(b)
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        path = tmp_path / "x"
+        path.write_bytes(b"123")
+        with pytest.raises(ValueError):
+            corrupt_dump_file(path, mode="nope")
+        with pytest.raises(ValueError):
+            truncate_dump_file(path, keep_fraction=1.5)

@@ -8,6 +8,8 @@ confirms totals are invariant across the level change.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.aggregation import (
@@ -62,9 +64,18 @@ def test_a3_reaggregation_scaling(benchmark, n_jobs):
     total_after = sum(
         r["cpu_hours"] for r in schema.table("agg_job_month").rows()
     )
+    # the benchmark fixture times the default (columnar) rebuild; time the
+    # pure-Python oracle once for the before/after comparison
+    t0 = time.perf_counter()
+    aggregator.aggregate_jobs_oracle("month")
+    oracle_s = time.perf_counter() - t0
+    columnar_s = benchmark.stats.stats.mean
     emit(f"a3_reaggregation_{n_jobs}", "\n".join([
         f"A3 re-aggregation over {n_jobs} raw jobs:",
         f"  agg rows rebuilt: {built['agg_job_month']}",
         f"  CPU-hour total invariant: {abs(total_after - total_before) < 1e-6}",
+        f"  columnar rebuild: {columnar_s * 1e3:.1f} ms",
+        f"  pure-Python oracle: {oracle_s * 1e3:.1f} ms"
+        f"  ({oracle_s / columnar_s:.1f}x slower)",
     ]))
     assert total_after == pytest.approx(total_before)

@@ -3,8 +3,17 @@
 See Table I of the paper for the wall-time level sets reproduced in
 :mod:`repro.aggregation.levels`, and :mod:`repro.aggregation.engine` for the
 nightly pre-binning step that builds the ``agg_*`` tables the UI queries.
+The default rebuild paths run on the vectorized columnar builders in
+:mod:`repro.aggregation.columnar`; every realm also supports incremental
+folds over seen-table bookkeeping.
 """
 
+from .columnar import (
+    build_cloud_rows,
+    build_job_rows,
+    build_storage_rows,
+    group_reduce,
+)
 from .engine import (
     AggregationConfig,
     Aggregator,
@@ -40,5 +49,9 @@ __all__ = [
     "agg_cloud_schema",
     "agg_job_schema",
     "agg_storage_schema",
+    "build_cloud_rows",
+    "build_job_rows",
+    "build_storage_rows",
+    "group_reduce",
     "merge_level_sets",
 ]

@@ -22,6 +22,8 @@ import math
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Sequence
 
+import numpy as np
+
 from ..timeutil import SECONDS_PER_HOUR, SECONDS_PER_MINUTE
 
 
@@ -94,6 +96,30 @@ class AggregationLevelSet:
             else:
                 return level.label
         return self.OUTSIDE
+
+    def codes_of(self, values: Sequence[float]) -> np.ndarray:
+        """Vectorized :meth:`level_of`: bin codes for an array of values.
+
+        Returns an ``int64`` array where code ``i`` means ``levels[i]`` and
+        code ``len(levels)`` means :attr:`OUTSIDE` (below, above, in an
+        interior gap, or NaN/NULL).  ``coded_labels`` maps codes back to
+        labels.  This is the hot path the columnar aggregation engine uses;
+        it agrees with :meth:`level_of` element-for-element (tested).
+        """
+        v = np.asarray(values, dtype=np.float64)
+        los = np.array([l.lo for l in self.levels], dtype=np.float64)
+        his = np.array([l.hi for l in self.levels], dtype=np.float64)
+        outside = len(self.levels)
+        idx = np.searchsorted(los, v, side="right") - 1
+        clipped = np.clip(idx, 0, outside - 1)
+        inside = (idx >= 0) & (v >= los[clipped]) & (v < his[clipped])
+        inside &= ~np.isnan(v)
+        return np.where(inside, clipped, outside).astype(np.int64)
+
+    @property
+    def coded_labels(self) -> tuple[str, ...]:
+        """Labels indexed by the codes :meth:`codes_of` returns."""
+        return self.labels + (self.OUTSIDE,)
 
     @property
     def labels(self) -> tuple[str, ...]:

@@ -75,8 +75,20 @@ class XdmodInstance:
     def aggregation(self) -> AggregationConfig:
         return self.aggregator.config
 
-    def aggregate(self, periods: Sequence[str] | None = None) -> dict[str, int]:
-        """Run the nightly aggregation step locally."""
+    def aggregate(
+        self,
+        periods: Sequence[str] | None = None,
+        *,
+        incremental: bool = False,
+    ) -> dict[str, int]:
+        """Run the nightly aggregation step locally.
+
+        With ``incremental=True`` only newly ingested facts are folded
+        into the existing aggregates (seen-table bookkeeping) instead of
+        rebuilding every realm from scratch.
+        """
+        if incremental:
+            return self.aggregator.aggregate_all_incremental(periods)
         return self.aggregator.aggregate_all(periods)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -351,13 +363,22 @@ class FederationHub(XdmodInstance):
         return out
 
     def aggregate_federation(
-        self, periods: Sequence[str] | None = None
+        self,
+        periods: Sequence[str] | None = None,
+        *,
+        incremental: bool = False,
     ) -> dict[str, dict[str, int]]:
         """Aggregate every replicated schema under the HUB's levels.
 
         "All raw instance data are fully replicated to the master, then
         aggregated there, according to the federation hub's aggregation
         levels, so no data are lost or changed."
+
+        With ``incremental=True`` each member schema folds in only its
+        newly replicated facts (seen-table bookkeeping per realm) instead
+        of rebuilding every aggregate; the result tables are identical to
+        a full rebuild over the same facts.  Level changes still require
+        :meth:`reaggregate_federation`, which always rebuilds.
 
         Degraded mode: members whose circuit is open, whose schema never
         replicated, or whose aggregation raises are *skipped* — the
@@ -381,7 +402,10 @@ class FederationHub(XdmodInstance):
                 continue
             try:
                 aggregator = Aggregator(schema, self.aggregation)
-                out[name] = aggregator.aggregate_all(periods)
+                if incremental:
+                    out[name] = aggregator.aggregate_all_incremental(periods)
+                else:
+                    out[name] = aggregator.aggregate_all(periods)
             except Exception as exc:
                 skipped[name] = str(exc)
                 continue

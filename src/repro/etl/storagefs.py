@@ -118,8 +118,16 @@ def ingest_storage_snapshots(
                 "file_count": doc["file_count"],
                 "logical_usage_gb": float(doc["logical_usage_gb"]),
                 "physical_usage_gb": float(doc["physical_usage_gb"]),
-                "soft_quota_gb": float(doc.get("soft_quota_gb", 0.0)),
-                "hard_quota_gb": float(doc.get("hard_quota_gb", 0.0)),
+                # NULL = no quota configured; an explicit 0.0 in the
+                # document is a real zero quota and must stay distinct
+                "soft_quota_gb": (
+                    float(doc["soft_quota_gb"])
+                    if doc.get("soft_quota_gb") is not None else None
+                ),
+                "hard_quota_gb": (
+                    float(doc["hard_quota_gb"])
+                    if doc.get("hard_quota_gb") is not None else None
+                ),
             }
         )
         next_id += 1

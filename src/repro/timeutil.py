@@ -120,6 +120,24 @@ def period_range(period: str, start: int, end: int) -> Iterator[tuple[int, int]]
         cursor = nxt
 
 
+def period_bounds(period: str, start: int, end: int) -> list[int]:
+    """Sorted period boundaries ``b0 <= start`` … ``bk > end``.
+
+    ``b[i] .. b[i+1]`` is one period window; for any ``t`` in
+    ``[start, end]`` the containing period's index is
+    ``bisect_right(bounds, t) - 1`` (``np.searchsorted(..., side="right")``
+    in the vectorized aggregation paths).
+    """
+    if end < start:
+        raise ValueError(f"period_bounds: end {end} < start {start}")
+    cursor = period_start(period, start)
+    bounds = [cursor]
+    while cursor <= end:
+        cursor = period_next(period, cursor)
+        bounds.append(cursor)
+    return bounds
+
+
 def period_label(period: str, epoch: int) -> str:
     """Human label XDMoD-style: 2017-03, 2017 Q1, 2017, or 2017-03-14."""
     d = from_ts(epoch)

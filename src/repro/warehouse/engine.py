@@ -21,6 +21,8 @@ import json
 import threading
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
+import numpy as np
+
 from .binlog import Binlog, BinlogEvent, EventType
 from .errors import (
     DuplicateObjectError,
@@ -28,7 +30,7 @@ from .errors import (
     SchemaError,
     UnknownObjectError,
 )
-from .schema import TableSchema
+from .schema import ColumnType, TableSchema
 
 
 class Table:
@@ -46,6 +48,8 @@ class Table:
         self._indexes: dict[str, dict[Any, set[int]]] = {
             name: {} for name in table_schema.indexes
         }
+        self._data_version = 0
+        self._columnar_cache: dict[str, np.ndarray] = {}
 
     # -- introspection ----------------------------------------------------
 
@@ -114,6 +118,7 @@ class Table:
         rid = len(self._rows)
         self._rows.append(row)
         self._live_count += 1
+        self._mutated()
         if key is not None:
             self._pk_index[key] = rid
         self._index_add(rid, row)
@@ -215,6 +220,7 @@ class Table:
             self._index_remove(rid, row)
             self._rows[rid] = None
             self._live_count -= 1
+            self._mutated()
             self._owner._log(
                 EventType.DELETE,
                 self.name,
@@ -230,6 +236,7 @@ class Table:
         self._pk_index.clear()
         for idx in self._indexes.values():
             idx.clear()
+        self._mutated()
         self._owner._log(EventType.TRUNCATE, self.name, {})
 
     # -- index plumbing -----------------------------------------------------
@@ -271,8 +278,68 @@ class Table:
             self._index_remove(rid, old_row)
         self._rows[rid] = new_row
         self._index_add(rid, new_row)
+        self._mutated()
 
     # -- column access for vectorized aggregation ---------------------------
+
+    def _mutated(self) -> None:
+        """Invalidate the columnar cache; called from every mutation point
+        (the same points that record a binlog event)."""
+        self._data_version += 1
+        if self._columnar_cache:
+            self._columnar_cache.clear()
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic counter bumped on every row mutation.
+
+        Lets callers (and tests) detect staleness of anything derived from
+        the table's contents — the columnar cache keys off it internally.
+        """
+        return self._data_version
+
+    def column_array(self, column: str) -> np.ndarray:
+        """Cached NumPy array of one column's live values, in row order.
+
+        This is the columnar view feeding the vectorized aggregation paths
+        (:mod:`repro.aggregation.columnar`).  Arrays are built lazily per
+        column and cached until the next mutation — insert, update, delete,
+        or truncate, i.e. the same hook points that write the binlog —
+        invalidates the whole cache.
+
+        dtype mapping: INT/TIMESTAMP columns become ``int64`` (``float64``
+        with NaN standing in for NULL when the column holds NULLs);
+        FLOAT becomes ``float64`` (NULL becomes NaN); everything else
+        (STR/BOOL/JSON) becomes an ``object`` array with NULLs kept as
+        ``None``.  The returned array is shared cache state — callers must
+        treat it as read-only.
+        """
+        cached = self._columnar_cache.get(column)
+        if cached is not None:
+            return cached
+        pos = self.schema.position(column)
+        ctype = self.schema.column(column).ctype
+        values = [row[pos] for row in self._rows if row is not None]
+        if ctype in (ColumnType.INT, ColumnType.TIMESTAMP, ColumnType.FLOAT):
+            has_null = any(v is None for v in values)
+            if has_null:
+                arr = np.array(
+                    [np.nan if v is None else v for v in values],
+                    dtype=np.float64,
+                )
+            elif ctype is ColumnType.FLOAT:
+                arr = np.array(values, dtype=np.float64)
+            else:
+                arr = np.array(values, dtype=np.int64)
+        else:
+            arr = np.empty(len(values), dtype=object)
+            arr[:] = values
+        self._columnar_cache[column] = arr
+        return arr
+
+    def column_arrays(self, columns: Sequence[str]) -> dict[str, np.ndarray]:
+        """Cached columnar views of several columns (see :meth:`column_array`)."""
+        return {c: self.column_array(c) for c in columns}
 
     def column_values(self, column: str) -> list[Any]:
         """All live values of one column, in row order (aggregation feed)."""

@@ -1,0 +1,506 @@
+"""Columnar fast path, incremental storage/cloud, and conservation fixes.
+
+Three families of tests:
+
+1. property tests: the columnar fast path, the pure-Python oracle, and
+   the incremental fold (in two batches) produce identical aggregate
+   tables on randomized job/storage/cloud facts — including zero-walltime
+   jobs, zero-length VM intervals, and None/0.0 quotas;
+2. conservation: per-period sums equal raw-fact totals for every period,
+   which the pre-fix engine violated for zero-length jobs;
+3. regression tests for the three satellite bugfixes, each written to
+   fail on the pre-PR code, plus the columnar-cache invalidation
+   contract on ``warehouse.engine.Table``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.aggregation import AggregationConfig, Aggregator
+from repro.aggregation.columnar import group_reduce
+from repro.aggregation.levels import (
+    DEFAULT_JOBSIZE_LEVELS,
+    DEFAULT_WALLTIME_LEVELS,
+    FIG7_VM_MEMORY_LEVELS,
+)
+from repro.etl.cloudevents import create_cloud_realm
+from repro.etl.star import create_jobs_star
+from repro.etl.storagefs import create_storage_realm
+from repro.timeutil import PERIODS, SECONDS_PER_HOUR, period_start, ts
+from repro.warehouse import Schema
+
+T0 = ts(2017, 1, 1)
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def build_schema() -> Schema:
+    s = Schema("modw")
+    create_jobs_star(s)
+    create_storage_realm(s)
+    create_cloud_realm(s)
+    return s
+
+
+def insert_job(s, job_id, *, start, wall, cores=4, cpu_hours=None,
+               resource_id=1, person_id=1, pi_id=1, app_id=1, queue_id=1,
+               wait=600):
+    s.table("fact_job").insert({
+        "job_id": job_id, "resource_id": resource_id, "person_id": person_id,
+        "pi_id": pi_id, "app_id": app_id, "queue_id": queue_id,
+        "submit_ts": start - wait, "start_ts": start, "end_ts": start + wall,
+        "walltime_s": wall, "wait_s": wait, "req_walltime_s": wall + 60,
+        "nodes": max(1, cores // 16), "cores": cores,
+        "cpu_hours": cores * wall / SECONDS_PER_HOUR if cpu_hours is None else cpu_hours,
+        "node_hours": max(1, cores // 16) * wall / SECONDS_PER_HOUR,
+        "xdsu": 1.2 * cores * wall / SECONDS_PER_HOUR,
+        "state": "completed", "exit_code": 0,
+    })
+
+
+def insert_snapshot(s, snapshot_id, *, ts_, person_id, soft,
+                    resource_id=1, filesystem="home", logical=10.0):
+    s.table("fact_storage").insert({
+        "snapshot_id": snapshot_id, "resource_id": resource_id,
+        "filesystem": filesystem, "mountpoint": f"/{filesystem}",
+        "resource_type": "gpfs", "person_id": person_id,
+        "pi": "p", "system_username": f"u{person_id}", "ts": ts_,
+        "file_count": 100, "logical_usage_gb": logical,
+        "physical_usage_gb": logical * 0.9,
+        "soft_quota_gb": soft,
+        "hard_quota_gb": None if soft is None else soft * 1.5,
+    })
+
+
+def insert_interval(s, interval_id, *, vm_id, start, dur, state="running",
+                    resource_id=1, vcpus=2, mem_gb=1.5):
+    s.table("fact_vm_interval").insert({
+        "interval_id": interval_id, "vm_id": vm_id,
+        "resource_id": resource_id, "person_id": 1, "project": "astro",
+        "os": "centos7", "submission_venue": "api",
+        "instance_type": "m1.small", "state": state,
+        "start_ts": start, "end_ts": start + dur,
+        "vcpus": vcpus, "mem_gb": mem_gb, "disk_gb": 20.0,
+    })
+
+
+def insert_vm(s, vm_id, *, provision, terminate, resource_id=1,
+              vcpus=2, mem_gb=1.5, n_state_changes=1):
+    s.table("fact_vm").insert({
+        "vm_id": vm_id, "resource_id": resource_id, "person_id": 1,
+        "project": "astro", "os": "centos7", "submission_venue": "api",
+        "provision_ts": provision, "terminate_ts": terminate,
+        "first_instance_type": "m1.small", "last_instance_type": "m1.small",
+        "last_vcpus": vcpus, "last_mem_gb": mem_gb, "last_disk_gb": 20.0,
+        "wall_s": 0, "core_hours": 0.0, "reserved_core_hours": 0.0,
+        "reserved_mem_gb_hours": 0.0, "reserved_disk_gb_hours": 0.0,
+        "n_state_changes": n_state_changes, "n_resizes": 0,
+        "running_s": 0, "stopped_s": 0, "paused_s": 0,
+    })
+
+
+def table_rows(s, name):
+    if not s.has_table(name):
+        return []
+    rows = [tuple(sorted(r.items())) for r in s.table(name).rows()]
+    return sorted(rows)
+
+
+def assert_tables_equal(got, want, label):
+    assert len(got) == len(want), (
+        f"{label}: {len(got)} rows != {len(want)} rows"
+    )
+    for rg, rw in zip(got, want):
+        for (kg, vg), (kw, vw) in zip(rg, rw):
+            assert kg == kw
+            if isinstance(vg, float) or isinstance(vw, float):
+                assert vg == pytest.approx(vw, rel=1e-9, abs=1e-9), (
+                    f"{label}: {kg}: {vg} != {vw}"
+                )
+            else:
+                assert vg == vw, f"{label}: {kg}: {vg!r} != {vw!r}"
+
+
+# -- strategies ---------------------------------------------------------------
+
+job_facts = st.lists(
+    st.tuples(
+        st.integers(0, 120 * 86400),           # start offset
+        st.one_of(st.just(0), st.integers(1, 60 * 86400)),  # walltime
+        st.integers(1, 300),                   # cores
+        st.floats(0.0, 50.0),                  # cpu_hours for zero-wall jobs
+        st.integers(1, 3),                     # resource
+        st.integers(1, 4),                     # person
+    ),
+    max_size=30,
+)
+
+storage_facts = st.lists(
+    st.tuples(
+        st.integers(0, 90) ,                   # day offset
+        st.integers(1, 5),                     # person
+        st.sampled_from([None, 0.0, 50.0, 250.0]),  # soft quota
+        st.sampled_from(["home", "scratch"]),
+        st.floats(0.0, 120.0),                 # logical usage
+    ),
+    max_size=40,
+)
+
+cloud_facts = st.lists(
+    st.tuples(
+        st.integers(0, 60 * 86400),            # provision offset
+        st.lists(                              # intervals: (dur, state)
+            st.tuples(
+                st.one_of(st.just(0), st.integers(1, 12 * 86400)),
+                st.sampled_from(["running", "running", "stopped", "paused"]),
+            ),
+            min_size=1, max_size=4,
+        ),
+        st.booleans(),                         # terminated?
+        st.sampled_from([0.5, 1.5, 3.0, 6.0, 12.0]),  # mem_gb
+    ),
+    max_size=10,
+)
+
+
+def populate(s, jobs, snaps, vms, *, job_id0=0, snap_id0=0, vm_id0=0, iv_id0=0):
+    for i, (off, wall, cores, zero_cpu, rid, pid) in enumerate(jobs):
+        insert_job(
+            s, job_id0 + i + 1, start=T0 + off, wall=wall, cores=cores,
+            cpu_hours=zero_cpu if wall == 0 else None,
+            resource_id=rid, person_id=pid,
+        )
+    for i, (day, pid, soft, fs, logical) in enumerate(snaps):
+        insert_snapshot(
+            s, snap_id0 + i + 1, ts_=T0 + day * 86400, person_id=pid,
+            soft=soft, filesystem=fs, logical=logical,
+        )
+    iv_id = iv_id0
+    for i, (off, intervals, terminated, mem) in enumerate(vms):
+        vm_id = vm_id0 + i + 1
+        cursor = T0 + off
+        for dur, state in intervals:
+            iv_id += 1
+            insert_interval(
+                s, iv_id, vm_id=vm_id, start=cursor, dur=dur, state=state,
+                mem_gb=mem,
+            )
+            cursor += dur
+        insert_vm(
+            s, vm_id, provision=T0 + off,
+            terminate=cursor if terminated else None, mem_gb=mem,
+            n_state_changes=len(intervals),
+        )
+    return iv_id
+
+
+AGG_TABLES = ("agg_job_{p}", "agg_storage_{p}", "agg_cloud_{p}")
+
+
+class TestColumnarOracleParity:
+    @SETTINGS
+    @given(jobs=job_facts, snaps=storage_facts, vms=cloud_facts,
+           period=st.sampled_from(PERIODS))
+    def test_columnar_matches_oracle(self, jobs, snaps, vms, period):
+        s_fast, s_ref = build_schema(), build_schema()
+        populate(s_fast, jobs, snaps, vms)
+        populate(s_ref, jobs, snaps, vms)
+        fast, ref = Aggregator(s_fast), Aggregator(s_ref)
+        fast.aggregate_jobs(period)
+        fast.aggregate_storage(period)
+        fast.aggregate_cloud(period)
+        ref.aggregate_jobs_oracle(period)
+        ref.aggregate_storage_oracle(period)
+        ref.aggregate_cloud_oracle(period)
+        for pattern in AGG_TABLES:
+            name = pattern.format(p=period)
+            assert_tables_equal(
+                table_rows(s_fast, name), table_rows(s_ref, name), name
+            )
+
+    @SETTINGS
+    @given(jobs=job_facts, snaps=storage_facts, vms=cloud_facts,
+           period=st.sampled_from(PERIODS))
+    def test_incremental_matches_full_rebuild(self, jobs, snaps, vms, period):
+        # fold in two batches; a full rebuild over the union must agree
+        s_inc, s_full = build_schema(), build_schema()
+        half_j, half_s, half_v = (
+            len(jobs) // 2, len(snaps) // 2, len(vms) // 2
+        )
+        inc = Aggregator(s_inc)
+        iv_n = populate(s_inc, jobs[:half_j], snaps[:half_s], vms[:half_v])
+        inc.aggregate_all_incremental([period])
+        populate(
+            s_inc, jobs[half_j:], snaps[half_s:], vms[half_v:],
+            job_id0=half_j, snap_id0=half_s, vm_id0=half_v, iv_id0=iv_n,
+        )
+        inc.aggregate_all_incremental([period])
+        # folding again with no new facts must process nothing
+        counts = inc.aggregate_all_incremental([period])
+        assert all(v == 0 for v in counts.values())
+
+        iv_n = populate(s_full, jobs[:half_j], snaps[:half_s], vms[:half_v])
+        populate(
+            s_full, jobs[half_j:], snaps[half_s:], vms[half_v:],
+            job_id0=half_j, snap_id0=half_s, vm_id0=half_v, iv_id0=iv_n,
+        )
+        Aggregator(s_full).aggregate_all([period])
+        for pattern in AGG_TABLES:
+            name = pattern.format(p=period)
+            assert_tables_equal(
+                table_rows(s_inc, name), table_rows(s_full, name), name
+            )
+
+    def test_full_rebuild_resyncs_incremental_bookkeeping(self):
+        s = build_schema()
+        agg = Aggregator(s)
+        insert_job(s, 1, start=T0, wall=3600)
+        agg.aggregate_all_incremental(["month"])
+        insert_job(s, 2, start=T0 + 86400, wall=7200)
+        agg.aggregate_all(["month"])  # full rebuild covers job 2
+        assert agg.aggregate_jobs_incremental("month") == 0
+        assert agg.aggregate_storage_incremental("month") == 0
+        assert agg.aggregate_cloud_incremental("month") == 0
+
+
+class TestConservation:
+    @SETTINGS
+    @given(jobs=job_facts)
+    def test_job_usage_conserved_every_period(self, jobs):
+        """Per-period sums equal raw totals — the docstring's invariant."""
+        s = build_schema()
+        populate(s, jobs, [], [])
+        raw = list(s.table("fact_job").rows())
+        agg = Aggregator(s)
+        for period in PERIODS:
+            agg.aggregate_jobs(period)
+            rows = list(s.table(f"agg_job_{period}").rows())
+            for measure, raw_total in (
+                ("cpu_hours", sum(j["cpu_hours"] for j in raw)),
+                ("node_hours", sum(j["node_hours"] for j in raw)),
+                ("xdsu", sum(j["xdsu"] for j in raw)),
+                ("wall_hours",
+                 sum(j["walltime_s"] for j in raw) / SECONDS_PER_HOUR),
+                ("wait_hours",
+                 sum(j["wait_s"] for j in raw) / SECONDS_PER_HOUR),
+                ("n_jobs_ended", len(raw)),
+                ("n_jobs_started", len(raw)),
+            ):
+                agg_total = sum(r[measure] for r in rows)
+                assert agg_total == pytest.approx(raw_total, rel=1e-9, abs=1e-9), (
+                    f"{period}/{measure}: {agg_total} != {raw_total}"
+                )
+
+
+class TestZeroWalltimeRegression:
+    """Bugfix 1: zero-length jobs must not lose their usage."""
+
+    def params(self):
+        return dict(start=ts(2017, 2, 14, 12), wall=0, cpu_hours=7.5)
+
+    def test_full_rebuild_keeps_usage(self):
+        s = build_schema()
+        insert_job(s, 1, **self.params())
+        Aggregator(s).aggregate_jobs("month")
+        rows = list(s.table("agg_job_month").rows())
+        assert sum(r["cpu_hours"] for r in rows) == pytest.approx(7.5)
+        # attributed to the period the job ended in
+        (row,) = [r for r in rows if r["cpu_hours"] > 0]
+        assert row["period_start"] == period_start("month", ts(2017, 2, 14, 12))
+
+    def test_oracle_keeps_usage(self):
+        s = build_schema()
+        insert_job(s, 1, **self.params())
+        Aggregator(s).aggregate_jobs_oracle("month")
+        rows = list(s.table("agg_job_month").rows())
+        assert sum(r["cpu_hours"] for r in rows) == pytest.approx(7.5)
+
+    def test_incremental_keeps_usage(self):
+        s = build_schema()
+        insert_job(s, 1, **self.params())
+        Aggregator(s).aggregate_jobs_incremental("month")
+        rows = list(s.table("agg_job_month").rows())
+        assert sum(r["cpu_hours"] for r in rows) == pytest.approx(7.5)
+
+
+class TestZeroLengthIntervalRegression:
+    """Bugfix 2: a VM starting and stopping in the same second is active."""
+
+    def test_instant_vm_counts_as_active(self):
+        s = build_schema()
+        start = ts(2017, 3, 5, 9)
+        insert_interval(s, 1, vm_id=42, start=start, dur=0, state="running")
+        Aggregator(s).aggregate_cloud("month")
+        rows = list(s.table("agg_cloud_month").rows())
+        assert len(rows) == 1
+        assert rows[0]["period_start"] == period_start("month", start)
+        assert rows[0]["n_vms_active"] == 1
+        assert rows[0]["wall_hours"] == 0.0
+
+    def test_instant_vm_not_double_counted(self):
+        # the same VM also has a spanning interval in the same period:
+        # distinct count stays 1
+        s = build_schema()
+        start = ts(2017, 3, 5, 9)
+        insert_interval(s, 1, vm_id=42, start=start, dur=0, state="running")
+        insert_interval(s, 2, vm_id=42, start=start, dur=3600, state="running")
+        Aggregator(s).aggregate_cloud("month")
+        (row,) = s.table("agg_cloud_month").rows()
+        assert row["n_vms_active"] == 1
+
+    def test_oracle_and_incremental_agree(self):
+        start = ts(2017, 3, 5, 9)
+        results = []
+        for mode in ("fast", "oracle", "incremental"):
+            s = build_schema()
+            insert_interval(s, 1, vm_id=7, start=start, dur=0, state="running")
+            agg = Aggregator(s)
+            getattr(agg, {
+                "fast": "aggregate_cloud",
+                "oracle": "aggregate_cloud_oracle",
+                "incremental": "aggregate_cloud_incremental",
+            }[mode])("month")
+            results.append(table_rows(s, "agg_cloud_month"))
+        assert results[0] == results[1] == results[2]
+
+
+class TestQuotaTruthinessRegression:
+    """Bugfix 3: a 0.0 quota is a sample; a NULL quota is not."""
+
+    def test_zero_quota_counts_as_sample(self):
+        s = build_schema()
+        insert_snapshot(s, 1, ts_=T0, person_id=1, soft=0.0)
+        Aggregator(s).aggregate_storage("month")
+        (row,) = s.table("agg_storage_month").rows()
+        assert row["n_quota_samples"] == 1
+        assert row["sum_quota_utilization"] == 0.0
+
+    def test_null_quota_not_a_sample(self):
+        s = build_schema()
+        insert_snapshot(s, 1, ts_=T0, person_id=1, soft=None)
+        Aggregator(s).aggregate_storage("month")
+        (row,) = s.table("agg_storage_month").rows()
+        assert row["n_quota_samples"] == 0
+
+    def test_mixed_quotas(self):
+        s = build_schema()
+        insert_snapshot(s, 1, ts_=T0, person_id=1, soft=None)
+        insert_snapshot(s, 2, ts_=T0, person_id=2, soft=0.0)
+        insert_snapshot(s, 3, ts_=T0, person_id=3, soft=100.0, logical=50.0)
+        for method in ("aggregate_storage", "aggregate_storage_oracle"):
+            getattr(Aggregator(s), method)("month")
+            (row,) = s.table("agg_storage_month").rows()
+            assert row["n_quota_samples"] == 2
+            assert row["sum_quota_utilization"] == pytest.approx(0.5)
+
+
+class TestColumnarCache:
+    """Table.column_array contract: cached until any mutation."""
+
+    def test_cache_reused_until_mutation(self):
+        s = build_schema()
+        insert_job(s, 1, start=T0, wall=3600)
+        table = s.table("fact_job")
+        v0 = table.data_version
+        a = table.column_array("cpu_hours")
+        assert table.column_array("cpu_hours") is a  # cached
+        insert_job(s, 2, start=T0, wall=7200)
+        assert table.data_version > v0
+        b = table.column_array("cpu_hours")
+        assert b is not a
+        assert len(b) == 2
+
+    def test_delete_truncate_and_upsert_invalidate(self):
+        s = build_schema()
+        insert_job(s, 1, start=T0, wall=3600)
+        table = s.table("fact_job")
+        table.column_array("job_id")
+        v = table.data_version
+        table.delete_where(lambda r: r["job_id"] == 1)
+        assert table.data_version > v
+        assert len(table.column_array("job_id")) == 0
+        insert_job(s, 3, start=T0, wall=60)
+        v = table.data_version
+        table.truncate()
+        assert table.data_version > v
+        assert len(table.column_array("job_id")) == 0
+
+    def test_null_and_string_columns(self):
+        s = build_schema()
+        insert_vm(s, 1, provision=T0, terminate=None)
+        insert_vm(s, 2, provision=T0, terminate=T0 + 3600)
+        table = s.table("fact_vm")
+        term = table.column_array("terminate_ts")
+        assert term.dtype == np.float64  # NULLs force float64 + NaN
+        assert math.isnan(term[0]) and term[1] == T0 + 3600
+        proj = table.column_array("project")
+        assert proj.dtype == object
+        assert list(proj) == ["astro", "astro"]
+
+
+class TestCodesOfAgreement:
+    @SETTINGS
+    @given(values=st.lists(
+        st.one_of(
+            st.floats(-10.0, 10_000.0),
+            st.just(float("nan")),
+        ),
+        max_size=50,
+    ))
+    def test_codes_match_level_of(self, values):
+        for levels in (
+            DEFAULT_WALLTIME_LEVELS, DEFAULT_JOBSIZE_LEVELS,
+            FIG7_VM_MEMORY_LEVELS,
+        ):
+            codes = levels.codes_of(values)
+            labels = [levels.coded_labels[c] for c in codes]
+            assert labels == [levels.level_of(v) for v in values]
+
+
+class TestGroupReduce:
+    def test_matches_python_grouping(self):
+        keys = [np.array([1, 2, 1, 2, 1]), np.array([0, 0, 1, 0, 0])]
+        vals = {"x": np.array([1.0, 2.0, 3.0, 4.0, 5.0])}
+        uniq, sums = group_reduce(keys, vals)
+        got = {
+            (int(uniq[0][i]), int(uniq[1][i])): sums["x"][i]
+            for i in range(len(uniq[0]))
+        }
+        assert got == {(1, 0): 6.0, (1, 1): 3.0, (2, 0): 6.0}
+
+    def test_empty(self):
+        uniq, sums = group_reduce(
+            [np.array([], dtype=np.int64)], {"x": np.array([])}
+        )
+        assert len(uniq[0]) == 0 and len(sums["x"]) == 0
+
+
+class TestFederationIncremental:
+    def test_hub_incremental_equals_full(self):
+        from tests.conftest import build_two_site_federation
+
+        hub, satellites, _, _ = build_two_site_federation()
+        hub.aggregate_federation(["month"], incremental=True)
+        inc_tables = {
+            name: table_rows(schema, "agg_job_month")
+            for name, schema in hub.federated_schemas().items()
+        }
+        hub.aggregate_federation(["month"])  # full rebuild
+        for name, schema in hub.federated_schemas().items():
+            assert_tables_equal(
+                inc_tables[name], table_rows(schema, "agg_job_month"),
+                f"{name}/agg_job_month",
+            )
+        # a second incremental pass after the rebuild folds nothing
+        report = hub.aggregate_federation(["month"], incremental=True)
+        for counts in report.values():
+            assert all(v == 0 for v in counts.values())

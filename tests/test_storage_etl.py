@@ -94,7 +94,10 @@ class TestIngest:
                             "system_username")}
         ingest_storage_snapshots(schema, [doc])
         row = next(schema.table("fact_storage").rows())
-        assert row["soft_quota_gb"] == 0.0
+        # absent quota ingests as NULL (no quota configured), not 0.0 —
+        # a literal 0.0 quota is a real sample the aggregator must count
+        assert row["soft_quota_gb"] is None
+        assert row["hard_quota_gb"] is None
         assert row["system_username"] == "alice"
 
     def test_simulated_docs_all_validate(self, schema, storage_docs):

@@ -16,6 +16,49 @@ PACKAGES = [
     "repro.ui", "repro.appkernels", "repro.config", "repro.timeutil",
 ]
 
+FOOTER = """\
+## Aggregation fast path
+
+### Columnar table views
+
+`warehouse.Table` keeps a cached columnar view of its rows:
+
+- `Table.column_array(name)` returns a NumPy array for one column
+  (`INT`/`TIMESTAMP` -> `int64`, promoted to `float64` with `NaN` when the
+  column holds NULLs; `FLOAT` -> `float64` with NULL as `NaN`; everything
+  else -> `object`).  `Table.column_arrays(names)` batches several columns.
+- Arrays are cached per `(column, data_version)` and shared between
+  callers; **do not mutate them in place**.
+- `Table.data_version` increments on every mutation (`insert`,
+  `delete_where`, `truncate`, replication replace), which invalidates the
+  cache.  Repeated reads between mutations are free.
+
+### Aggregation modes
+
+Each realm has three equivalent implementations in
+`repro.aggregation` (tested row-for-row against each other):
+
+| mode | entry point | use |
+|---|---|---|
+| columnar (default) | `Aggregator.aggregate_jobs` / `aggregate_storage` / `aggregate_cloud` | full drop-and-rebuild on vectorized group reductions (`repro.aggregation.columnar`) |
+| oracle | `Aggregator.aggregate_*_oracle` | pure-Python reference; same output, used as the test oracle |
+| incremental | `Aggregator.aggregate_*_incremental` | folds only facts not yet seen into the existing `agg_*` tables |
+
+Incremental aggregation keeps per-period bookkeeping tables
+(`agg_seen_*`, plus `agg_state_storage_*` numerator sums for the storage
+realm's gauge averages and `agg_active_vm_*` membership for distinct
+active-VM counts).  Facts are treated as append-only; a full rebuild
+resynchronizes the bookkeeping so incremental folds can resume afterward.
+`FederationHub.aggregate_federation(periods, incremental=True)` folds only
+the deltas replicated since the previous fold on every federated schema.
+
+Edge-case semantics shared by all three modes: zero-walltime jobs
+attribute their recorded usage to the period containing `end_ts`;
+zero-length `running` VM intervals count toward `n_vms_active` in the
+period containing `start_ts`; a storage `soft_quota_gb` of `0.0` is a real
+quota sample (only NULL means "no quota configured").
+"""
+
 
 def kind_of(obj) -> str:
     if inspect.isclass(obj):
@@ -59,6 +102,7 @@ def main() -> None:
             lines.append("|---|---|---|")
             lines.extend(rows)
         lines.append("")
+    lines.append(FOOTER)
     out = pathlib.Path("docs")
     out.mkdir(exist_ok=True)
     (out / "API.md").write_text("\n".join(lines) + "\n")

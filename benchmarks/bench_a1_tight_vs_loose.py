@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import FederationHub, LooseChannel, ReplicationChannel, XdmodInstance
+from repro.core import LooseChannel, ReplicationChannel, XdmodInstance
 from repro.etl import ParsedJob, ingest_jobs
 from repro.timeutil import ts
 from repro.warehouse import Database

@@ -15,7 +15,6 @@ measures the three mechanisms added for that:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import (
     CircuitBreaker,

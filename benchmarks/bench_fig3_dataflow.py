@@ -9,7 +9,6 @@ byte-identical to the satellite's after the flow completes.
 
 from __future__ import annotations
 
-from repro.aggregation import Aggregator
 from repro.core import FederationHub, XdmodInstance, check_member
 from repro.simulators import (
     ResourceSpec,

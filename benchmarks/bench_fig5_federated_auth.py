@@ -10,14 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.auth import (
-    Account,
-    Role,
-    SsoKind,
-    SsoManager,
-    hub_as_identity_provider,
-    make_provider,
-)
+from repro.auth import Account, Role, SsoManager, hub_as_identity_provider
 
 from conftest import emit
 

@@ -87,7 +87,7 @@ def _level_counts(schema) -> dict[str, int]:
 def test_table1_aggregation_levels(benchmark):
     instance_a, instance_b, hub = _build()
 
-    result = benchmark(hub.aggregate_federation, ["month"])
+    benchmark(hub.aggregate_federation, ["month"])
 
     counts_a = _level_counts(instance_a.schema)
     counts_b = _level_counts(instance_b.schema)

@@ -542,7 +542,8 @@ class Aggregator:
             entry["physical_gb"] += snap["physical_usage_gb"]
             soft = snap["soft_quota_gb"]
             entry["soft_quota_gb"] += soft if soft is not None else 0.0
-            entry["hard_quota_gb"] += snap["hard_quota_gb"] or 0.0
+            hard = snap["hard_quota_gb"]
+            entry["hard_quota_gb"] += hard if hard is not None else 0.0
             if soft is not None:
                 # NULL means no quota configured; an explicit 0.0 quota is
                 # a real sample (utilization against it is undefined, so it
@@ -638,7 +639,8 @@ class Aggregator:
             entry["sum_physical_gb"] += snap["physical_usage_gb"]
             soft = snap["soft_quota_gb"]
             entry["sum_soft_quota_gb"] += soft if soft is not None else 0.0
-            entry["sum_hard_quota_gb"] += snap["hard_quota_gb"] or 0.0
+            hard = snap["hard_quota_gb"]
+            entry["sum_hard_quota_gb"] += hard if hard is not None else 0.0
             if soft is not None:
                 if soft > 0:
                     entry["sum_quota_utilization"] += (

@@ -1,0 +1,36 @@
+"""repolint: schema-aware static analysis for this repository's invariants.
+
+Public API::
+
+    from repro.analysis import LintEngine, build_default_catalog
+
+    engine = LintEngine()
+    findings = engine.lint_paths(["src/repro"])
+
+See ``docs/static-analysis.md`` for the rule catalog, the suppression
+syntax, and the baseline workflow.
+"""
+
+from .baseline import load_baseline, partition, save_baseline
+from .catalog import SchemaCatalog, build_default_catalog
+from .engine import LintEngine
+from .model import Severity, SuppressionIndex, Violation, parse_suppressions
+from .rules import ALL_RULES, DEFAULT_CONFIG, LintConfig, Rule, RuleContext
+
+__all__ = [
+    "ALL_RULES",
+    "DEFAULT_CONFIG",
+    "LintConfig",
+    "LintEngine",
+    "Rule",
+    "RuleContext",
+    "SchemaCatalog",
+    "Severity",
+    "SuppressionIndex",
+    "Violation",
+    "build_default_catalog",
+    "load_baseline",
+    "parse_suppressions",
+    "partition",
+    "save_baseline",
+]

@@ -1,0 +1,76 @@
+"""Baseline workflow: legacy findings don't block CI, new ones do.
+
+The baseline file maps finding *fingerprints* (rule id + path + normalized
+offending-line content, see :class:`~repro.analysis.model.Violation`) to
+counts.  Matching is count-based: if the tree has three findings with a
+fingerprint and the baseline records two, one is reported as new.  Because
+fingerprints ignore line numbers, unrelated edits that shift code around
+do not invalidate the baseline; fixing a baselined violation simply leaves
+a stale entry, which ``--write-baseline`` prunes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from .model import Violation
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> dict[str, dict]:
+    """Load a baseline file; returns ``{fingerprint: entry}`` (empty if
+    the file does not exist)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        return {}
+    if not isinstance(data, dict) or "entries" not in data:
+        raise ValueError(f"{path}: not a repolint baseline file")
+    version = data.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {version!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    return dict(data["entries"])
+
+
+def save_baseline(path: str, violations: list[Violation]) -> dict[str, dict]:
+    """Write the baseline recording ``violations`` as accepted legacy debt."""
+    counts: Counter[str] = Counter(v.fingerprint for v in violations)
+    entries: dict[str, dict] = {}
+    for violation in violations:
+        fp = violation.fingerprint
+        entries[fp] = {
+            "count": counts[fp],
+            "rule": violation.rule_id,
+            "path": violation.path,
+            "snippet": " ".join(violation.snippet.split()),
+        }
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return entries
+
+
+def partition(
+    violations: list[Violation], baseline: dict[str, dict]
+) -> tuple[list[Violation], list[Violation]]:
+    """Split findings into ``(new, baselined)`` against the baseline."""
+    budget: Counter[str] = Counter(
+        {fp: int(entry.get("count", 0)) for fp, entry in baseline.items()}
+    )
+    new: list[Violation] = []
+    known: list[Violation] = []
+    for violation in violations:
+        fp = violation.fingerprint
+        if budget[fp] > 0:
+            budget[fp] -= 1
+            known.append(violation)
+        else:
+            new.append(violation)
+    return new, known

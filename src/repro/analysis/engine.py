@@ -1,0 +1,95 @@
+"""Lint engine: runs the rule set over files and applies suppressions.
+
+The engine is deliberately small — rules do the thinking, the engine does
+the plumbing: parse, dispatch, filter suppressed findings, sort.  The
+schema catalog is built once per engine (importing every realm schema is
+the expensive part) and shared across files.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, Sequence
+
+from .catalog import SchemaCatalog, build_default_catalog
+from .model import Severity, Violation, parse_suppressions
+from .rules import ALL_RULES, DEFAULT_CONFIG, LintConfig, Rule, RuleContext
+
+
+class LintEngine:
+    """Runs rules over source files, honoring config and suppressions."""
+
+    def __init__(
+        self,
+        catalog: SchemaCatalog | None = None,
+        config: LintConfig = DEFAULT_CONFIG,
+        rules: Sequence[Rule] = ALL_RULES,
+    ) -> None:
+        self.catalog = catalog if catalog is not None else build_default_catalog()
+        self.config = config
+        if config.enabled_rules is not None:
+            rules = [r for r in rules if r.id in config.enabled_rules]
+        self.rules: tuple[Rule, ...] = tuple(rules)
+
+    # -- single-source entry points ---------------------------------------
+
+    def lint_source(self, source: str, path: str) -> list[Violation]:
+        """Lint one file's source text; ``path`` drives rule scoping."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            line = exc.lineno or 1
+            return [
+                Violation(
+                    rule_id="syntax-error",
+                    path=path,
+                    line=line,
+                    col=(exc.offset or 1) - 1,
+                    message=f"file does not parse: {exc.msg}",
+                    snippet="",
+                    severity=Severity.ERROR,
+                )
+            ]
+        ctx = RuleContext(
+            path=path,
+            source=source,
+            lines=source.splitlines(),
+            catalog=self.catalog,
+            config=self.config,
+        )
+        suppressions = parse_suppressions(source)
+        findings = [
+            violation
+            for rule in self.rules
+            for violation in rule.check(tree, ctx)
+            if not suppressions.suppresses(violation.line, violation.rule_id)
+        ]
+        findings.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+        return findings
+
+    def lint_file(self, path: str) -> list[Violation]:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        return self.lint_source(source, path)
+
+    def lint_paths(self, paths: Iterable[str]) -> list[Violation]:
+        """Lint files and directories (directories walked for ``*.py``)."""
+        findings: list[Violation] = []
+        for path in paths:
+            for file_path in sorted(_iter_python_files(path)):
+                findings.extend(self.lint_file(file_path))
+        return findings
+
+
+def _iter_python_files(path: str) -> Iterable[str]:
+    if os.path.isfile(path):
+        yield path
+        return
+    for root, dirs, files in os.walk(path):
+        dirs[:] = sorted(
+            d for d in dirs if d not in ("__pycache__", ".git")
+        )
+        for name in sorted(files):
+            if name.endswith(".py"):
+                yield os.path.join(root, name)

@@ -1,0 +1,112 @@
+"""Core data model of the repolint static-analysis engine.
+
+A :class:`Violation` is one finding of one rule at one source location.
+Findings carry a stable :attr:`~Violation.fingerprint` — a hash of the
+rule id, file path, and the *content* of the offending line (not its line
+number) — so a committed baseline keeps matching after unrelated edits
+shift code up or down the file.
+
+Suppressions use an inline comment::
+
+    risky_line()  # repolint: ignore[rule-id] -- reason the rule is wrong here
+
+or, for long lines, a standalone comment on the line above.  Several rule
+ids may be listed (``ignore[rule-a,rule-b]``); ``ignore[*]`` silences every
+rule for that line.  The ``-- reason`` trailer is optional but strongly
+encouraged — it is the reviewable record of *why* the invariant does not
+apply.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Severity(Enum):
+    """How bad a finding is; both fail the build, WARNING is advisory in
+    ``--format json`` consumers that choose to filter."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+    severity: Severity = Severity.ERROR
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used by the baseline file."""
+        normalized = " ".join(self.snippet.split())
+        digest = hashlib.sha256(
+            f"{self.rule_id}|{self.path}|{normalized}".encode()
+        ).hexdigest()
+        return digest[:16]
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id}: {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "severity": self.severity.value,
+            "fingerprint": self.fingerprint,
+        }
+
+
+#: ``# repolint: ignore[rule-a, rule-b] -- reason`` (reason optional).
+_SUPPRESS_RE = re.compile(
+    r"#\s*repolint:\s*ignore\[([^\]]+)\](?:\s*--\s*(?P<reason>.*))?"
+)
+
+
+@dataclass
+class SuppressionIndex:
+    """Which rule ids are suppressed on which physical lines of one file."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+
+    def suppresses(self, line: int, rule_id: str) -> bool:
+        rules = self.by_line.get(line)
+        if not rules:
+            return False
+        return "*" in rules or rule_id in rules
+
+
+def parse_suppressions(source: str) -> SuppressionIndex:
+    """Build the per-line suppression index for one file's source text.
+
+    A suppression comment on its own line applies to the next line (the
+    statement it precedes); trailing comments apply to their own line.
+    """
+    index = SuppressionIndex()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        if not rules:
+            continue
+        standalone = text.lstrip().startswith("#")
+        target = lineno + 1 if standalone else lineno
+        index.by_line.setdefault(target, set()).update(rules)
+    return index

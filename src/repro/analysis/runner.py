@@ -1,0 +1,125 @@
+"""Shared CLI runner behind ``tools/repolint.py`` and ``xdmod-repro lint``.
+
+Exit codes: 0 clean (all findings baselined or none), 1 new violations,
+2 usage/configuration error (bad baseline file, unknown rule id, missing
+path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .baseline import load_baseline, partition, save_baseline
+from .engine import LintEngine
+from .rules import ALL_RULES, DEFAULT_CONFIG, LintConfig
+
+DEFAULT_BASELINE = ".repolint-baseline.json"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register repolint's flags on ``parser`` (shared with the CLI)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help=f"baseline file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept all current findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rule", action="append", dest="rules", metavar="RULE-ID",
+        help="run only these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace, out=None) -> int:
+    """Execute a lint run for parsed ``args``; returns the exit code."""
+    out = out if out is not None else sys.stdout
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}: {rule.summary}", file=out)
+        return 0
+
+    config = DEFAULT_CONFIG
+    if args.rules:
+        known = {rule.id for rule in ALL_RULES}
+        unknown = sorted(set(args.rules) - known)
+        if unknown:
+            print(
+                f"repolint: unknown rule id(s): {', '.join(unknown)} "
+                f"(see --list-rules)",
+                file=sys.stderr,
+            )
+            return 2
+        config = LintConfig(enabled_rules=frozenset(args.rules))
+
+    engine = LintEngine(config=config)
+    try:
+        findings = engine.lint_paths(args.paths)
+    except OSError as exc:
+        print(f"repolint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        save_baseline(args.baseline, findings)
+        print(
+            f"repolint: wrote {len(findings)} finding(s) to {args.baseline}",
+            file=out,
+        )
+        return 0
+
+    if args.no_baseline:
+        baseline: dict[str, dict] = {}
+    else:
+        try:
+            baseline = load_baseline(args.baseline)
+        except ValueError as exc:
+            print(f"repolint: {exc}", file=sys.stderr)
+            return 2
+    new, known = partition(findings, baseline)
+
+    if args.format == "json":
+        payload = {
+            "new": [v.to_dict() for v in new],
+            "baselined": [v.to_dict() for v in known],
+        }
+        json.dump(payload, out, indent=2)
+        out.write("\n")
+    else:
+        for violation in new:
+            print(violation.format(), file=out)
+        summary = f"repolint: {len(new)} new violation(s)"
+        if known:
+            summary += f", {len(known)} baselined"
+        print(summary, file=out)
+    return 1 if new else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repolint",
+        description="Schema-aware static analysis for warehouse & "
+        "federation invariants.",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))

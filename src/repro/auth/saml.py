@@ -19,7 +19,7 @@ import hashlib
 import hmac
 import json
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Mapping
 
 from .accounts import AuthError

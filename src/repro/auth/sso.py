@@ -13,7 +13,7 @@ flag.  Users can always *also* sign on with their local XDMoD password
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from .accounts import Account, AccountStore, AuthError, Role, Session

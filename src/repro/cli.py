@@ -12,6 +12,7 @@ equivalents for this reproduction:
 - ``report``    — generate a monthly utilization report (markdown)
 - ``serve``     — run the HTTP JSON API on a demo instance
 - ``snapshot``  — save/restore a demo instance database to a directory
+- ``lint``      — schema-aware static analysis (repolint) over the tree
 """
 
 from __future__ import annotations
@@ -25,7 +26,6 @@ from typing import Sequence
 
 def _cmd_demo(args: argparse.Namespace) -> int:
     from .core import XdmodInstance
-    from .etl import WAREHOUSE_SCHEMA
     from .realms import jobs_realm
     from .simulators import WorkloadGenerator, ccr_like_site, simulate_resource, to_sacct_log
     from .timeutil import ts
@@ -248,6 +248,12 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.runner import run_lint
+
+    return run_lint(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="xdmod-repro",
@@ -299,6 +305,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("directory")
     p.add_argument("--scale", type=float, default=0.1)
     p.set_defaults(func=_cmd_snapshot)
+
+    p = sub.add_parser(
+        "lint", help="schema-aware static analysis (repolint)"
+    )
+    from .analysis.runner import add_lint_arguments
+
+    add_lint_arguments(p)
+    p.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -14,7 +14,7 @@ verify, for every member:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from ..warehouse import Schema

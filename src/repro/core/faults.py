@@ -23,7 +23,6 @@ manufactured failures from real bugs.
 from __future__ import annotations
 
 import gzip
-import json
 import random
 from dataclasses import dataclass, field
 from pathlib import Path

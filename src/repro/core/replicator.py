@@ -25,7 +25,7 @@ hub's per-instance schema (``fed_<instance>`` by convention).  A
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..etl.perfingest import HEAVY_TABLES
@@ -218,6 +218,7 @@ class ReplicationChannel:
             try:
                 self.target.apply_event(event)
                 return None
+            # repolint: ignore[overbroad-except] -- quarantine boundary: poison events must capture any failure for the dead-letter queue
             except Exception as exc:
                 last_exc = exc
                 self.stats.apply_failures += 1

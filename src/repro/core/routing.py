@@ -16,7 +16,7 @@ wires one satellite into any number of hubs under one policy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable
 
 from .errors import MembershipError
 from .federation import FederationHub, FederationMember, XdmodInstance

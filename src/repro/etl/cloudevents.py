@@ -208,7 +208,6 @@ def _sessionize(events: list[dict], horizon_ts: int) -> dict[str, Any] | None:
         end = terminate_ts
 
     reserved_span_h = max(0, end - provision_ts) / SECONDS_PER_HOUR
-    last = events[-1]
     return {
         "vm": {
             "vm_id": first["vm_id"],

@@ -11,7 +11,7 @@ commits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Mapping
 
 from ..simulators.hpl import ConversionTable

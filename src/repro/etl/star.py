@@ -15,12 +15,12 @@ units (Section II-C6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from ..simulators.hpl import ConversionTable
 from ..timeutil import SECONDS_PER_HOUR
-from ..warehouse import ColumnType, Schema, Table, TableSchema, make_columns
+from ..warehouse import ColumnType, Schema, TableSchema, make_columns
 from .slurm import ParsedJob
 
 C = ColumnType

@@ -163,7 +163,6 @@ class CloudSimulator:
         # Interleave stop/start, pause/unpause, resize until termination.
         running = True
         while t < terminate_ts:
-            remaining = terminate_ts - t
             step = int(rng.exponential(cfg.running_fraction_mean * lifetime_s / 3))
             step = max(step, 300)
             t += step

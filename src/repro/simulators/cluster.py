@@ -17,8 +17,8 @@ landed on.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from ..timeutil import SECONDS_PER_HOUR, iso
 from .workload import JobRequest
@@ -226,7 +226,6 @@ class ClusterSimulator:
             head = waiting[0]
             # Shadow time: when will the head have enough cores?  Walk the
             # running heap in end order accumulating releases.
-            needed = head.cores - free
             shadow = now
             extra = free
             for end_ts, _, cores in sorted(running):

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 
-from ..timeutil import SECONDS_PER_DAY, SECONDS_PER_HOUR, ts
+from ..timeutil import SECONDS_PER_DAY, ts
 from .cluster import ResourceSpec
 from .workload import WorkloadConfig, WorkloadGenerator
 

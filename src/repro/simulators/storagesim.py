@@ -19,7 +19,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from ..timeutil import SECONDS_PER_DAY, from_ts
+from ..timeutil import SECONDS_PER_DAY
 
 
 @dataclass(frozen=True)

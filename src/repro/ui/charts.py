@@ -10,7 +10,7 @@ paper are ChartData instances produced by the benchmark harness.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Iterable, Mapping
 
 from ..core.identity import IdentityMap
 from ..realms.base import Realm, RealmResult

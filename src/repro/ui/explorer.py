@@ -9,7 +9,7 @@ regroups by a finer dimension, exactly the UI interaction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Mapping
 
 from ..core.identity import IdentityMap

@@ -9,10 +9,10 @@ federation-wide utilization report for the funding agency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-from ..timeutil import from_ts, iso, month_start, period_label
+from ..timeutil import from_ts, iso
 from .ascii import render_table
 from .charts import ChartBuilder, ChartData
 

@@ -17,7 +17,7 @@ from pathlib import Path
 from typing import Any
 
 from .dump import load_schema, read_dump_file, write_dump_file
-from .engine import Database, Schema
+from .engine import Database
 from .errors import DumpError
 
 MANIFEST_NAME = "manifest.json"

@@ -9,18 +9,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import FederationHub, XdmodInstance, standardize_federation
-from repro.simulators import (
-    CloudConfig,
-    CloudSimulator,
-    ResourceSpec,
-    StorageConfig,
-    StorageSimulator,
-    WorkloadConfig,
-    WorkloadGenerator,
-    generate_performance_batch,
-    simulate_resource,
-    to_sacct_log,
-)
+from repro.simulators import CloudConfig, CloudSimulator, ResourceSpec, StorageConfig, StorageSimulator, WorkloadConfig, WorkloadGenerator, simulate_resource, to_sacct_log
 from repro.timeutil import ts
 
 T0 = ts(2017, 1, 1)

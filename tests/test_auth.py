@@ -7,26 +7,7 @@ from dataclasses import replace
 
 import pytest
 
-from repro.auth import (
-    Account,
-    AccountStore,
-    AuthError,
-    GlobusLinkage,
-    IdentityProvider,
-    LocalAuthenticator,
-    Role,
-    SamlAssertion,
-    SamlError,
-    ServiceProvider,
-    SsoKind,
-    SsoManager,
-    SsoProvider,
-    hash_password,
-    hub_as_identity_provider,
-    job_viewer_allowed,
-    make_provider,
-    verify_password,
-)
+from repro.auth import Account, AccountStore, AuthError, IdentityProvider, LocalAuthenticator, Role, SamlAssertion, SamlError, ServiceProvider, SsoKind, SsoManager, hash_password, hub_as_identity_provider, job_viewer_allowed, make_provider, verify_password
 
 
 class TestAccounts:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.etl import JsonSchemaError, ingest_cloud_events
-from repro.simulators import CloudConfig, CloudSimulator, vm_sessions
+from repro.simulators import vm_sessions
 from repro.timeutil import SECONDS_PER_HOUR, ts
 from repro.warehouse import Database
 

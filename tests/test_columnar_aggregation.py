@@ -21,7 +21,7 @@ import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.aggregation import AggregationConfig, Aggregator
+from repro.aggregation import Aggregator
 from repro.aggregation.columnar import group_reduce
 from repro.aggregation.levels import (
     DEFAULT_JOBSIZE_LEVELS,

@@ -8,13 +8,7 @@ from repro.aggregation import Aggregator
 from repro.core import XdmodInstance
 from repro.etl import ingest_storage_snapshots
 from repro.realms import jobs_realm, storage_realm
-from repro.simulators import (
-    ResourceSpec,
-    WorkloadConfig,
-    WorkloadGenerator,
-    simulate_resource,
-    to_sacct_log,
-)
+from repro.simulators import WorkloadConfig, WorkloadGenerator, simulate_resource, to_sacct_log
 from repro.timeutil import ts
 from repro.warehouse import Database
 from tests.conftest import T0, T_MAR

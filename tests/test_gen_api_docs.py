@@ -1,0 +1,75 @@
+"""tools/gen_api_docs.py: golden-output and failure-mode coverage."""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(scope="module")
+def gen_api_docs():
+    spec = importlib.util.spec_from_file_location(
+        "gen_api_docs", os.path.join(REPO_ROOT, "tools", "gen_api_docs.py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestGenerate:
+    def test_golden_output_matches_committed_api_md(self, gen_api_docs):
+        committed = open(
+            os.path.join(REPO_ROOT, "docs", "API.md"), encoding="utf-8"
+        ).read()
+        assert gen_api_docs.generate() == committed, (
+            "docs/API.md is stale; regenerate with "
+            "`python tools/gen_api_docs.py`"
+        )
+
+    def test_structure(self, gen_api_docs):
+        text = gen_api_docs.generate(["repro.analysis"])
+        assert text.startswith("# API reference")
+        assert "## `repro.analysis`" in text
+        assert "| `LintEngine` | class |" in text
+        assert "| `build_default_catalog` | function |" in text
+        # footer is always appended
+        assert "## Aggregation fast path" in text
+
+    def test_module_without_all_uses_public_names(self, gen_api_docs, tmp_path):
+        pkg = tmp_path / "fake_noall_pkg.py"
+        pkg.write_text('"""Fake module."""\n\ndef visible():\n    pass\n')
+        sys.path.insert(0, str(tmp_path))
+        try:
+            text = gen_api_docs.generate(["fake_noall_pkg"])
+        finally:
+            sys.path.remove(str(tmp_path))
+        # no __all__ and no repro-owned members: section header only
+        assert "## `fake_noall_pkg`" in text
+        assert "Fake module." in text
+
+
+class TestFailureModes:
+    def test_generate_raises_on_non_importing_module(self, gen_api_docs):
+        with pytest.raises(ImportError):
+            gen_api_docs.generate(["repro.no_such_subpackage"])
+
+    def test_main_turns_import_error_into_exit_1(
+        self, gen_api_docs, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(
+            gen_api_docs, "PACKAGES", ["repro.no_such_subpackage"]
+        )
+        assert gen_api_docs.main(["--output", "-"]) == 1
+        err = capsys.readouterr().err
+        assert "cannot import" in err
+
+    def test_main_writes_output_file(self, gen_api_docs, tmp_path, monkeypatch):
+        monkeypatch.setattr(gen_api_docs, "PACKAGES", ["repro.timeutil"])
+        out = tmp_path / "API.md"
+        assert gen_api_docs.main(["--output", str(out)]) == 0
+        assert out.read_text().startswith("# API reference")

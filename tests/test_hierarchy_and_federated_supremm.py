@@ -13,7 +13,6 @@ from repro.simulators import (
     generate_performance_batch,
     simulate_resource,
 )
-from repro.timeutil import ts
 from tests.conftest import T0, T_MAR
 
 

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.etl import HEAVY_TABLES, ingest_performance
 from repro.simulators import (

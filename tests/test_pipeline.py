@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.etl import IngestPipeline, WAREHOUSE_SCHEMA
 from repro.simulators import (

@@ -11,7 +11,7 @@ from repro.core import (
 )
 from repro.etl import ParsedJob, ingest_jobs
 from repro.timeutil import ts
-from repro.warehouse import ColumnType, Database, TableSchema, make_columns
+from repro.warehouse import ColumnType, Database
 
 C = ColumnType
 

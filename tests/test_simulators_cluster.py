@@ -2,19 +2,9 @@
 
 from __future__ import annotations
 
-import heapq
 
-import pytest
 
-from repro.simulators import (
-    ClusterSimulator,
-    QueueSpec,
-    ResourceSpec,
-    WorkloadConfig,
-    WorkloadGenerator,
-    simulate_resource,
-    to_sacct_log,
-)
+from repro.simulators import QueueSpec, ResourceSpec, WorkloadConfig, WorkloadGenerator, simulate_resource, to_sacct_log
 from repro.simulators.workload import JobRequest
 from repro.timeutil import SECONDS_PER_HOUR, ts
 

@@ -13,7 +13,6 @@ from repro.etl import (
     parse_timelimit,
 )
 from repro.simulators import sacct_header, to_sacct_line
-from repro.timeutil import parse_iso
 
 GOOD_LINE = (
     "123|alice|pi001|normal|namd|2017-01-02T08:00:00|2017-01-02T09:00:00|"

@@ -4,17 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.warehouse import (
-    ColumnType,
-    Database,
-    DuplicateObjectError,
-    EventType,
-    PrimaryKeyError,
-    SchemaError,
-    TableSchema,
-    UnknownObjectError,
-    make_columns,
-)
+from repro.warehouse import ColumnType, Database, DuplicateObjectError, PrimaryKeyError, SchemaError, TableSchema, UnknownObjectError, make_columns
 
 C = ColumnType
 

@@ -6,14 +6,18 @@ Run from the repository root:  python tools/gen_api_docs.py
 
 from __future__ import annotations
 
+import argparse
 import importlib
 import inspect
 import pathlib
+import sys
+from typing import Sequence
 
 PACKAGES = [
     "repro", "repro.warehouse", "repro.simulators", "repro.etl",
     "repro.aggregation", "repro.realms", "repro.core", "repro.auth",
-    "repro.ui", "repro.appkernels", "repro.config", "repro.timeutil",
+    "repro.ui", "repro.appkernels", "repro.analysis", "repro.config",
+    "repro.timeutil",
 ]
 
 FOOTER = """\
@@ -57,6 +61,12 @@ attribute their recorded usage to the period containing `end_ts`;
 zero-length `running` VM intervals count toward `n_vms_active` in the
 period containing `start_ts`; a storage `soft_quota_gb` of `0.0` is a real
 quota sample (only NULL means "no quota configured").
+
+## Static analysis
+
+`tools/repolint.py` (or `xdmod-repro lint`) runs the schema-aware lint
+engine in `repro.analysis` over the tree; see `docs/static-analysis.md`
+for the rule catalog, suppression syntax, and baseline workflow.
 """
 
 
@@ -68,13 +78,21 @@ def kind_of(obj) -> str:
     return "constant"
 
 
-def main() -> None:
+def generate(packages: Sequence[str] | None = None) -> str:
+    """Render the API reference markdown for ``packages``
+    (default: the module-level PACKAGES list).
+
+    Raises ImportError if any package does not import — callers decide
+    whether that is fatal (:func:`main` turns it into exit code 1).
+    """
+    if packages is None:
+        packages = PACKAGES
     lines = [
         "# API reference", "",
         "Generated from the packages' `__all__` exports "
         "(`python tools/gen_api_docs.py` regenerates this file).", "",
     ]
-    for name in PACKAGES:
+    for name in packages:
         mod = importlib.import_module(name)
         doc = (mod.__doc__ or "").strip().splitlines()
         lines.append(f"## `{name}`")
@@ -103,11 +121,30 @@ def main() -> None:
             lines.extend(rows)
         lines.append("")
     lines.append(FOOTER)
-    out = pathlib.Path("docs")
-    out.mkdir(exist_ok=True)
-    (out / "API.md").write_text("\n".join(lines) + "\n")
-    print(f"wrote docs/API.md ({len(lines)} lines)")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", "-o", default="docs/API.md",
+        help="output file (default: docs/API.md); '-' for stdout",
+    )
+    args = parser.parse_args(argv)
+    try:
+        text = generate()
+    except ImportError as exc:
+        print(f"gen_api_docs: cannot import package: {exc}", file=sys.stderr)
+        return 1
+    if args.output == "-":
+        sys.stdout.write(text)
+        return 0
+    out = pathlib.Path(args.output)
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(text)
+    print(f"wrote {out} ({text.count(chr(10))} lines)")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

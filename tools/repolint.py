@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""repolint CLI: schema-aware static analysis over the repro tree.
+
+Usage (from the repo root)::
+
+    python tools/repolint.py src/repro            # lint against the baseline
+    python tools/repolint.py --no-baseline ...    # show all findings
+    python tools/repolint.py --write-baseline ... # accept current findings
+    python tools/repolint.py --list-rules
+
+Exit codes: 0 clean, 1 new violations, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.analysis.runner import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

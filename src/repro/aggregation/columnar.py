@@ -118,7 +118,20 @@ def _factorize(*object_arrays: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]
 # -- jobs realm -------------------------------------------------------------
 
 
-def build_job_rows(schema: Schema, config: Any, period: str) -> list[dict[str, Any]]:
+def _count_rows_built(obs: Any, realm: str, period: str, n: int) -> None:
+    """Publish one ``aggregation_rows_built_total`` bump per build."""
+    if obs is None:
+        return
+    obs.registry.counter(
+        "aggregation_rows_built_total",
+        "Aggregate rows produced by the columnar builders",
+        ("realm", "period"),
+    ).labels(realm=realm, period=period).inc(n)
+
+
+def build_job_rows(
+    schema: Schema, config: Any, period: str, *, obs: Any = None
+) -> list[dict[str, Any]]:
     """Vectorized equivalent of ``Aggregator.aggregate_jobs_oracle``."""
     table = schema.table("fact_job")
     if len(table) == 0:
@@ -216,6 +229,7 @@ def build_job_rows(schema: Schema, config: Any, period: str) -> list[dict[str, A
             "wait_hours": float(sums["wait_hours"][i]),
         })
     rows.sort(key=_job_row_key)
+    _count_rows_built(obs, "jobs", period, len(rows))
     return rows
 
 
@@ -231,7 +245,9 @@ def _job_row_key(row: dict[str, Any]) -> tuple:
 # -- storage realm ----------------------------------------------------------
 
 
-def build_storage_rows(schema: Schema, period: str) -> list[dict[str, Any]]:
+def build_storage_rows(
+    schema: Schema, period: str, *, obs: Any = None
+) -> list[dict[str, Any]]:
     """Vectorized equivalent of ``Aggregator.aggregate_storage_oracle``."""
     table = schema.table("fact_storage")
     if len(table) == 0:
@@ -307,13 +323,16 @@ def build_storage_rows(schema: Schema, period: str) -> list[dict[str, Any]]:
             "n_snapshots": int(round(n)),
         })
     rows.sort(key=lambda r: (r["period_start"], r["resource_id"], r["filesystem"]))
+    _count_rows_built(obs, "storage", period, len(rows))
     return rows
 
 
 # -- cloud realm ------------------------------------------------------------
 
 
-def build_cloud_rows(schema: Schema, config: Any, period: str) -> list[dict[str, Any]]:
+def build_cloud_rows(
+    schema: Schema, config: Any, period: str, *, obs: Any = None
+) -> list[dict[str, Any]]:
     """Vectorized equivalent of ``Aggregator.aggregate_cloud_oracle``."""
     iv_table = schema.table("fact_vm_interval")
     vm_table = schema.table("fact_vm") if schema.has_table("fact_vm") else None
@@ -480,4 +499,5 @@ def build_cloud_rows(schema: Schema, config: Any, period: str) -> list[dict[str,
         r["period_start"], r["resource_id"], r["project"], r["os"],
         r["submission_venue"], r["memory_level"],
     ))
+    _count_rows_built(obs, "cloud", period, len(rows))
     return rows

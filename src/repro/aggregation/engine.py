@@ -44,6 +44,7 @@ satellite joins) drops and rebuilds; raw tables are never modified.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -276,15 +277,61 @@ def _replace_table(schema: Schema, table_schema: TableSchema) -> None:
     schema.create_table(table_schema)
 
 
+def _observed(realm: str, mode: str):
+    """Wrap one aggregation entry point with telemetry.
+
+    Publishes a span, an ``aggregation_build_seconds`` observation, and
+    an ``aggregation_rows_total`` bump per call (batch-level: one
+    histogram sample per build, never per row).  A plain pass-through
+    when the aggregator has no telemetry bundle.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(self, period: str) -> int:
+            obs = self.obs
+            if obs is None:
+                return fn(self, period)
+            registry = obs.registry
+            start = obs.clock.now()
+            with obs.tracer.span(
+                f"aggregate_{realm}", realm=realm, mode=mode, period=period
+            ):
+                rows = fn(self, period)
+            registry.histogram(
+                "aggregation_build_seconds",
+                "Wall time of one aggregation build",
+                ("realm", "mode"),
+            ).labels(realm=realm, mode=mode).observe(obs.clock.now() - start)
+            registry.counter(
+                "aggregation_rows_total",
+                "Rows written (full) or facts folded (incremental) per build",
+                ("realm", "mode"),
+            ).labels(realm=realm, mode=mode).inc(rows)
+            return rows
+
+        return wrapper
+
+    return decorate
+
+
 class Aggregator:
     """Runs the aggregation step against one warehouse schema."""
 
-    def __init__(self, schema: Schema, config: AggregationConfig | None = None) -> None:
+    def __init__(
+        self,
+        schema: Schema,
+        config: AggregationConfig | None = None,
+        *,
+        obs=None,
+    ) -> None:
         self.schema = schema
         self.config = config or AggregationConfig()
+        self.obs = obs
 
     # -- jobs realm -------------------------------------------------------
 
+    @_observed("jobs", "full")
     def aggregate_jobs(self, period: str) -> int:
         """(Re)build ``agg_job_<period>``; returns rows written.
 
@@ -296,7 +343,7 @@ class Aggregator:
         if not self.schema.has_table("fact_job"):
             return 0
         agg = self.schema.table(f"agg_job_{period}")
-        for row in build_job_rows(self.schema, self.config, period):
+        for row in build_job_rows(self.schema, self.config, period, obs=self.obs):
             agg.insert(row)
         return len(agg)
 
@@ -401,6 +448,7 @@ class Aggregator:
 
     # -- incremental jobs aggregation ----------------------------------------
 
+    @_observed("jobs", "incremental")
     def aggregate_jobs_incremental(self, period: str) -> int:
         """Fold newly ingested jobs into ``agg_job_<period>`` in place.
 
@@ -506,6 +554,7 @@ class Aggregator:
 
     # -- storage realm ------------------------------------------------------
 
+    @_observed("storage", "full")
     def aggregate_storage(self, period: str) -> int:
         """(Re)build ``agg_storage_<period>`` via the columnar fast path."""
         _replace_table(self.schema, agg_storage_schema(period))
@@ -513,7 +562,7 @@ class Aggregator:
         if not self.schema.has_table("fact_storage"):
             return 0
         agg = self.schema.table(f"agg_storage_{period}")
-        for row in build_storage_rows(self.schema, period):
+        for row in build_storage_rows(self.schema, period, obs=self.obs):
             agg.insert(row)
         return len(agg)
 
@@ -663,6 +712,7 @@ class Aggregator:
             state.upsert(entry)
         return processed, touched
 
+    @_observed("storage", "incremental")
     def aggregate_storage_incremental(self, period: str) -> int:
         """Fold newly ingested snapshots into ``agg_storage_<period>``.
 
@@ -717,6 +767,7 @@ class Aggregator:
 
     # -- cloud realm ---------------------------------------------------------
 
+    @_observed("cloud", "full")
     def aggregate_cloud(self, period: str) -> int:
         """(Re)build ``agg_cloud_<period>`` via the columnar fast path."""
         _replace_table(self.schema, agg_cloud_schema(period))
@@ -724,7 +775,7 @@ class Aggregator:
         if not self.schema.has_table("fact_vm_interval"):
             return 0
         agg = self.schema.table(f"agg_cloud_{period}")
-        for row in build_cloud_rows(self.schema, self.config, period):
+        for row in build_cloud_rows(self.schema, self.config, period, obs=self.obs):
             agg.insert(row)
         return len(agg)
 
@@ -936,6 +987,7 @@ class Aggregator:
                     )["n_vms_ended"] += 1
         return processed, deltas
 
+    @_observed("cloud", "incremental")
     def aggregate_cloud_incremental(self, period: str) -> int:
         """Fold newly ingested cloud facts into ``agg_cloud_<period>``.
 

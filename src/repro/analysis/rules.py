@@ -26,6 +26,7 @@ Every rule here is grounded in a bug class that actually bit this project
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
@@ -623,6 +624,48 @@ class OverbroadExceptRule(Rule):
         yield from walk(tree, False)
 
 
+# -- R6: unregistered-metric-name ---------------------------------------------
+
+
+class MetricNameRule(Rule):
+    id = "unregistered-metric-name"
+    summary = (
+        "metric-name literal passed to the telemetry registry must be "
+        "snake_case with a unit suffix (_total/_seconds/_bytes/_rows)"
+    )
+
+    #: mirrors ``repro.obs.metrics.METRIC_NAME_PATTERN`` — duplicated here
+    #: (not imported) so the typed analysis package stays self-contained;
+    #: a test asserts the two patterns are identical
+    NAME_RE = re.compile(r"^[a-z][a-z0-9_]*_(total|seconds|bytes|rows)$")
+
+    #: registry factory methods whose first argument is the metric name
+    REGISTRY_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+    def check(self, tree: ast.Module, ctx: RuleContext) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.REGISTRY_METHODS
+                and node.args
+            ):
+                continue
+            first = node.args[0]
+            if not (
+                isinstance(first, ast.Constant)
+                and isinstance(first.value, str)
+            ):
+                continue
+            if not self.NAME_RE.match(first.value):
+                yield self.violation(
+                    ctx, first,
+                    f"metric name {first.value!r} violates the naming "
+                    "convention: snake_case plus a unit suffix "
+                    "(`_total`, `_seconds`, `_bytes`, `_rows`)",
+                )
+
+
 #: Registry, in reporting order.
 ALL_RULES: tuple[Rule, ...] = (
     NullableTruthinessRule(),
@@ -630,4 +673,5 @@ ALL_RULES: tuple[Rule, ...] = (
     NondeterminismRule(),
     UnknownColumnRule(),
     OverbroadExceptRule(),
+    MetricNameRule(),
 )

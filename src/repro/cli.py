@@ -13,6 +13,7 @@ equivalents for this reproduction:
 - ``serve``     — run the HTTP JSON API on a demo instance
 - ``snapshot``  — save/restore a demo instance database to a directory
 - ``lint``      — schema-aware static analysis (repolint) over the tree
+- ``obs``       — dump telemetry: Prometheus metrics, slow spans, traces
 """
 
 from __future__ import annotations
@@ -254,6 +255,29 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Telemetry dumps from a demo workload (or a saved trace file)."""
+    if args.action == "trace" and args.trace_file:
+        lines = Path(args.trace_file).read_text().splitlines()
+        for line in lines[-args.tail:]:
+            print(line)
+        return 0
+
+    instance, _, _ = _demo_instance(args.scale)
+    obs = instance.obs
+    if args.action == "metrics":
+        sys.stdout.write(obs.registry.render_prometheus())
+        return 0
+    if args.action == "slow":
+        print(obs.tracer.render_slow_report(args.top))
+        return 0
+    # trace without --trace-file: tail the demo run's own spans
+    lines = obs.tracer.to_jsonl().splitlines()
+    for line in lines[-args.tail:]:
+        print(line)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="xdmod-repro",
@@ -313,6 +337,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(p)
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "obs", help="dump telemetry from a demo workload"
+    )
+    p.add_argument(
+        "action", choices=["metrics", "slow", "trace"],
+        help="metrics: Prometheus text; slow: slow-span report; "
+             "trace: span JSONL (tail)",
+    )
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--top", type=int, default=10,
+                   help="rows in the slow-span report")
+    p.add_argument("--tail", type=int, default=20,
+                   help="trace lines to show")
+    p.add_argument("--trace-file", default="",
+                   help="tail an existing span JSONL instead of running "
+                        "the demo workload")
+    p.set_defaults(func=_cmd_obs)
     return parser
 
 

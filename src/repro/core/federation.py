@@ -17,6 +17,7 @@ from typing import Mapping, Sequence
 from ..aggregation import AggregationConfig, Aggregator
 from ..etl.pipeline import WAREHOUSE_SCHEMA, IngestPipeline
 from ..etl.star import PersonInfo
+from ..obs import Observability
 from ..simulators.hpl import ConversionTable
 from ..warehouse import Database, Schema
 from .errors import MembershipError, VersionMismatchError
@@ -54,17 +55,23 @@ class XdmodInstance:
         conversion: ConversionTable | None = None,
         directory: Mapping[str, PersonInfo] | None = None,
         science_fields: Mapping[str, str] | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.name = name
         self.version = version
-        self.database = Database(name)
+        #: telemetry bundle shared by every layer of this instance;
+        #: inject Observability(clock=FakeClock(...)) for determinism or
+        #: Observability.disabled() to strip the overhead
+        self.obs = obs if obs is not None else Observability.default()
+        self.database = Database(name, metrics=self.obs.registry)
         self.pipeline = IngestPipeline(
             self.database,
             conversion=conversion,
             directory=directory,
             science_fields=science_fields,
+            obs=self.obs,
         )
-        self.aggregator = Aggregator(self.schema, aggregation)
+        self.aggregator = Aggregator(self.schema, aggregation, obs=self.obs)
 
     @property
     def schema(self) -> Schema:
@@ -155,12 +162,55 @@ class FederationHub(XdmodInstance):
         version: str = XDMOD_VERSION,
         aggregation: AggregationConfig | None = None,
         conversion: ConversionTable | None = None,
+        obs: Observability | None = None,
     ) -> None:
         super().__init__(
-            name, version=version, aggregation=aggregation, conversion=conversion
+            name, version=version, aggregation=aggregation,
+            conversion=conversion, obs=obs,
         )
         self._members: dict[str, FederationMember] = {}
         self.last_aggregation = FederationAggregationReport()
+        registry = self.obs.registry
+        self._m_sync_cycles = registry.counter(
+            "federation_sync_cycles_total",
+            "Sync cycles run by the hub",
+            ("hub",),
+        ).labels(hub=name)
+        self._m_transitions = registry.counter(
+            "federation_circuit_transitions_total",
+            "Circuit-breaker state changes observed per member",
+            ("member", "state"),
+        )
+        self._m_loose_ships = registry.counter(
+            "federation_loose_ship_total",
+            "Successful loose-mode dump shipments per member",
+            ("member",),
+        )
+        self._g_lag = registry.gauge(
+            "replication_lag_rows",
+            "Unreplicated events (tight) or staleness (loose) per member",
+            ("member",),
+        )
+        self._g_dead_letters = registry.gauge(
+            "federation_dead_letters_rows",
+            "Quarantined events currently held per member",
+            ("member",),
+        )
+
+    def _note_transition(self, member: FederationMember, before: CircuitState) -> None:
+        after = member.breaker.state
+        if after is not before:
+            self._m_transitions.labels(
+                member=member.name, state=after.name.lower()
+            ).inc()
+
+    def _record_member_gauges(self) -> None:
+        lag = self.lag()
+        for member in self.members:
+            self._g_lag.labels(member=member.name).set(lag.get(member.name, 0))
+            self._g_dead_letters.labels(member=member.name).set(
+                member.dead_letter_depth
+            )
 
     # -- membership -----------------------------------------------------------
 
@@ -211,6 +261,8 @@ class FederationHub(XdmodInstance):
                 filter=filter,
                 retry_policy=retry_policy,
                 quarantine=quarantine,
+                obs=self.obs,
+                name=satellite.name,
             )
             if initial_sync:
                 member.channel.catch_up()
@@ -263,11 +315,14 @@ class FederationHub(XdmodInstance):
         ``sum(sync().values())`` behave as before.
         """
         out: dict[str, MemberSyncOutcome] = {}
+        self._m_sync_cycles.inc()
         for member in self.members:
             if member.channel is None:
                 out[member.name] = MemberSyncOutcome(member.name, "idle", 0)
                 continue
+            breaker_before = member.breaker.state
             if not member.breaker.allow():
+                self._note_transition(member, breaker_before)
                 out[member.name] = MemberSyncOutcome(
                     member.name, "circuit_open", 0,
                     error=member.breaker.last_error,
@@ -286,6 +341,7 @@ class FederationHub(XdmodInstance):
             except Exception as exc:
                 member.breaker.record_failure(str(exc))
                 member.last_error = str(exc)
+                self._note_transition(member, breaker_before)
                 out[member.name] = MemberSyncOutcome(
                     member.name, "failed", 0,
                     retried=stats.retries - retries_before,
@@ -294,6 +350,7 @@ class FederationHub(XdmodInstance):
                 continue
             member.breaker.record_success()
             member.last_error = ""
+            self._note_transition(member, breaker_before)
             retried = stats.retries - retries_before
             quarantined = stats.events_quarantined - quarantined_before
             status = (
@@ -305,6 +362,7 @@ class FederationHub(XdmodInstance):
                 member.name, status, applied,
                 retried=retried, quarantined=quarantined,
             )
+        self._record_member_gauges()
         return out
 
     def ship_loose(self) -> dict[str, MemberSyncOutcome]:
@@ -320,7 +378,9 @@ class FederationHub(XdmodInstance):
         for member in self.members:
             if member.loose_channel is None:
                 continue
+            breaker_before = member.breaker.state
             if not member.breaker.allow():
+                self._note_transition(member, breaker_before)
                 out[member.name] = MemberSyncOutcome(
                     member.name, "circuit_open", 0,
                     error=member.breaker.last_error,
@@ -332,14 +392,18 @@ class FederationHub(XdmodInstance):
             except Exception as exc:
                 member.breaker.record_failure(str(exc))
                 member.last_error = str(exc)
+                self._note_transition(member, breaker_before)
                 out[member.name] = MemberSyncOutcome(
                     member.name, "failed", 0, error=str(exc)
                 )
                 continue
             member.breaker.record_success()
             member.last_error = ""
+            self._note_transition(member, breaker_before)
+            self._m_loose_ships.labels(member=member.name).inc()
             rows = sum(len(schema.table(t)) for t in schema.table_names())
             out[member.name] = MemberSyncOutcome(member.name, "applied", rows)
+        self._record_member_gauges()
         return out
 
     def lag(self) -> dict[str, int]:
@@ -403,7 +467,7 @@ class FederationHub(XdmodInstance):
                 skipped[name] = "circuit open"
                 continue
             try:
-                aggregator = Aggregator(schema, self.aggregation)
+                aggregator = Aggregator(schema, self.aggregation, obs=self.obs)
                 if incremental:
                     out[name] = aggregator.aggregate_all_incremental(periods)
                 else:

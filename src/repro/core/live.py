@@ -17,6 +17,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+from ..obs import Clock
 from .federation import FederationHub
 
 
@@ -33,11 +34,20 @@ class LiveStats:
 class LiveReplicator:
     """Background sync loop over one hub's tight channels."""
 
-    def __init__(self, hub: FederationHub, *, interval_s: float = 0.05) -> None:
+    def __init__(
+        self,
+        hub: FederationHub,
+        *,
+        interval_s: float = 0.05,
+        clock: Clock | None = None,
+    ) -> None:
         if interval_s <= 0:
             raise ValueError("interval must be positive")
         self.hub = hub
         self.interval_s = interval_s
+        # deadline bookkeeping goes through the injectable clock so this
+        # module needs no wall-clock reads of its own
+        self._clock = clock if clock is not None else hub.obs.clock
         self.stats = LiveStats()
         self._stop_event = threading.Event()
         self._thread: threading.Thread | None = None
@@ -82,16 +92,12 @@ class LiveReplicator:
 
     def wait_until_current(self, *, timeout: float = 10.0) -> bool:
         """Block until every tight channel reports zero lag (or timeout)."""
-        deadline = threading.Event()
-        import time
-
-        # repolint: ignore[nondeterminism-in-replication] -- timeout bookkeeping for a blocking wait, not replayed state
-        end = time.monotonic() + timeout
-        # repolint: ignore[nondeterminism-in-replication] -- timeout bookkeeping for a blocking wait, not replayed state
-        while time.monotonic() < end:
+        waiter = threading.Event()
+        end = self._clock.now() + timeout
+        while self._clock.now() < end:
             if all(lag == 0 for lag in self.hub.lag().values()):
                 return True
-            deadline.wait(self.interval_s / 2)
+            waiter.wait(self.interval_s / 2)
         return all(lag == 0 for lag in self.hub.lag().values())
 
     def __enter__(self) -> "LiveReplicator":

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+from ..obs import Observability
 from .consistency import check_federation
 from .federation import FederationHub
 from .resilience import CircuitState
@@ -25,7 +26,14 @@ from .resilience import CircuitState
 
 @dataclass(frozen=True)
 class MemberStatus:
-    """One member's health snapshot."""
+    """One member's health snapshot.
+
+    The rate/latency fields (``syncs``, ``sync_seconds``,
+    ``events_per_second``) come from the hub's metrics registry — the
+    accumulated ``replication_pump_seconds`` histogram — rather than
+    point-in-time channel state, so they describe the member's lifetime
+    throughput, not just the current cursor position.
+    """
 
     name: str
     mode: str  # tight | loose
@@ -40,6 +48,13 @@ class MemberStatus:
     retries: int = 0
     dead_letters: int = 0
     last_error: str = ""
+    syncs: int = 0
+    sync_seconds: float = 0.0
+    events_per_second: float = 0.0
+
+    @property
+    def avg_sync_seconds(self) -> float:
+        return self.sync_seconds / self.syncs if self.syncs else 0.0
 
     @property
     def health(self) -> str:
@@ -80,8 +95,19 @@ class FederationStatus:
 class FederationMonitor:
     """Status collection over one hub."""
 
-    def __init__(self, hub: FederationHub) -> None:
+    def __init__(
+        self, hub: FederationHub, *, obs: Observability | None = None
+    ) -> None:
         self.hub = hub
+        self.obs = obs if obs is not None else hub.obs
+
+    def _pump_figures(self, member_name: str, applied: int) -> tuple[int, float, float]:
+        """(syncs, total pump seconds, events/s) from the registry."""
+        count, total = self.obs.registry.histogram_stats(
+            "replication_pump_seconds", channel=member_name
+        )
+        rate = applied / total if total > 0 else 0.0
+        return count, total, rate
 
     def status(self) -> FederationStatus:
         lag = self.hub.lag()
@@ -98,6 +124,9 @@ class FederationMonitor:
             member_check = by_member.get(member.name)
             consistent = bool(
                 member_check and (member_check.ok or member_check.filtered)
+            )
+            syncs, sync_seconds, rate = self._pump_figures(
+                member.name, stats.events_applied if stats else 0
             )
             members.append(
                 MemberStatus(
@@ -120,6 +149,9 @@ class FederationMonitor:
                         stats.last_error if stats and stats.last_error
                         else member.last_error
                     ),
+                    syncs=syncs,
+                    sync_seconds=sync_seconds,
+                    events_per_second=rate,
                 )
             )
         return FederationStatus(
@@ -157,6 +189,16 @@ class FederationMonitor:
         lines.append(
             "consistency: " + ("OK" if status.all_consistent else "VIOLATED")
         )
+        rated = [m for m in status.members if m.syncs]
+        if rated:
+            lines.append(
+                "replication rates: " + ", ".join(
+                    f"{m.name}={m.events_per_second:,.0f} ev/s "
+                    f"(avg pump {m.avg_sync_seconds * 1000:.2f} ms "
+                    f"over {m.syncs} pumps)"
+                    for m in rated
+                )
+            )
         report = self.hub.last_aggregation
         if report.skipped or report.quarantined:
             parts = []

@@ -30,6 +30,7 @@ from typing import Iterable, Sequence
 
 from ..etl.perfingest import HEAVY_TABLES
 from ..etl.star import JOBS_REALM_TABLES
+from ..obs import Observability
 from ..warehouse import BinlogCursor, BinlogEvent, EventType, Schema
 from .errors import ReplicationError
 from .resilience import DeadLetterQueue, RetryPolicy
@@ -190,6 +191,8 @@ class ReplicationChannel:
         start_lsn: int = 0,
         retry_policy: RetryPolicy | None = None,
         quarantine: bool = False,
+        obs: Observability | None = None,
+        name: str | None = None,
     ) -> None:
         self.source = source
         self.target = target
@@ -199,6 +202,36 @@ class ReplicationChannel:
         self.retry_policy = retry_policy
         self.quarantine = quarantine
         self.dead_letters = DeadLetterQueue()
+        self.obs = obs
+        self.name = name if name is not None else source.name
+        if obs is not None:
+            registry = obs.registry
+            label = {"channel": self.name}
+            self._m_applied = registry.counter(
+                "replication_events_applied_total",
+                "Events applied to the hub per channel",
+                ("channel",),
+            ).labels(**label)
+            self._m_filtered = registry.counter(
+                "replication_events_filtered_total",
+                "Events dropped by the replication filter per channel",
+                ("channel",),
+            ).labels(**label)
+            self._m_retries = registry.counter(
+                "replication_retries_total",
+                "Apply retries per channel",
+                ("channel",),
+            ).labels(**label)
+            self._m_quarantined = registry.counter(
+                "replication_quarantined_total",
+                "Events dead-lettered per channel",
+                ("channel",),
+            ).labels(**label)
+            self._h_pump = registry.histogram(
+                "replication_pump_seconds",
+                "Wall time of one pump over this channel",
+                ("channel",),
+            ).labels(**label)
 
     @property
     def lag(self) -> int:
@@ -234,6 +267,34 @@ class ReplicationChannel:
         idempotent) — or, with ``quarantine`` enabled, is dead-lettered
         and skipped so the rest of the batch still replicates.
         """
+        if self.obs is None:
+            return self._pump(max_events)
+        # telemetry is batch-level: snapshot the lifetime counters, run
+        # the pump, publish the deltas — one histogram observation and at
+        # most four counter bumps per batch, never per event
+        stats = self.stats
+        applied0 = stats.events_applied
+        filtered0 = stats.events_filtered
+        retries0 = stats.retries
+        quarantined0 = stats.events_quarantined
+        start = self.obs.clock.now()
+        with self.obs.tracer.span("replication_pump", channel=self.name):
+            try:
+                return self._pump(max_events)
+            finally:
+                self._h_pump.observe(self.obs.clock.now() - start)
+                if stats.events_applied != applied0:
+                    self._m_applied.inc(stats.events_applied - applied0)
+                if stats.events_filtered != filtered0:
+                    self._m_filtered.inc(stats.events_filtered - filtered0)
+                if stats.retries != retries0:
+                    self._m_retries.inc(stats.retries - retries0)
+                if stats.events_quarantined != quarantined0:
+                    self._m_quarantined.inc(
+                        stats.events_quarantined - quarantined0
+                    )
+
+    def _pump(self, max_events: int | None = None) -> int:
         events = self.cursor.poll(max_events)
         applied = 0
         try:

@@ -11,9 +11,11 @@ commits.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping
 
+from ..obs import Observability
 from ..simulators.hpl import ConversionTable
 from ..simulators.perf import JobPerformance
 from ..warehouse import ColumnType, Database, Schema, TableSchema, make_columns
@@ -39,6 +41,15 @@ def marker_schema() -> TableSchema:
         ]),
         primary_key=("source",),
     )
+
+
+class _StageCount:
+    """Mutable record counter yielded by ``IngestPipeline._stage``."""
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records = 0
 
 
 @dataclass
@@ -67,14 +78,46 @@ class IngestPipeline:
         conversion: ConversionTable | None = None,
         directory: Mapping[str, PersonInfo] | None = None,
         science_fields: Mapping[str, str] | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.database = database
         self.schema: Schema = database.ensure_schema(schema_name)
         self.conversion = conversion or ConversionTable()
         self.directory = dict(directory or {})
         self.science_fields = dict(science_fields or {})
+        self.obs = obs
         if not self.schema.has_table("etl_markers"):
             self.schema.create_table(marker_schema())
+
+    # -- telemetry -----------------------------------------------------------
+
+    @contextmanager
+    def _stage(self, source: str):
+        """Span + per-source record count/duration around one ingest call.
+
+        The yielded object carries a mutable ``records``; metrics are
+        published once per stage, not per record.
+        """
+        stage = _StageCount()
+        if self.obs is None:
+            yield stage
+            return
+        registry = self.obs.registry
+        start = self.obs.clock.now()
+        with self.obs.tracer.span(f"ingest_{source}", source=source):
+            try:
+                yield stage
+            finally:
+                registry.counter(
+                    "etl_ingest_records_total",
+                    "Records ingested per ETL source",
+                    ("source",),
+                ).labels(source=source).inc(stage.records)
+                registry.histogram(
+                    "etl_ingest_seconds",
+                    "Wall time of one ingest stage per ETL source",
+                    ("source",),
+                ).labels(source=source).observe(self.obs.clock.now() - start)
 
     # -- markers -------------------------------------------------------------
 
@@ -115,46 +158,54 @@ class IngestPipeline:
 
     def ingest_parsed_jobs(self, jobs: Iterable[ParsedJob]) -> int:
         jobs = list(jobs)
-        n = ingest_jobs(
-            self.schema,
-            jobs,
-            conversion=self.conversion,
-            directory=self.directory,
-            science_fields=self.science_fields,
-        )
-        if jobs:
-            self._advance("jobs", max(j.end_ts for j in jobs), n)
+        with self._stage("jobs") as stage:
+            n = ingest_jobs(
+                self.schema,
+                jobs,
+                conversion=self.conversion,
+                directory=self.directory,
+                science_fields=self.science_fields,
+            )
+            stage.records = n
+            if jobs:
+                self._advance("jobs", max(j.end_ts for j in jobs), n)
         return n
 
     def ingest_performance(self, performances: Iterable[JobPerformance]) -> int:
         performances = list(performances)
-        n = ingest_performance(self.schema, performances)
-        if performances:
-            self._advance(
-                "supremm",
-                max(int(p.timestamps[-1]) for p in performances if len(p.timestamps)),
-                n,
-            )
+        with self._stage("supremm") as stage:
+            n = ingest_performance(self.schema, performances)
+            stage.records = n
+            if performances:
+                self._advance(
+                    "supremm",
+                    max(int(p.timestamps[-1]) for p in performances if len(p.timestamps)),
+                    n,
+                )
         return n
 
     def ingest_storage(
         self, documents: Iterable[Mapping[str, Any]], *, strict: bool = True
     ) -> tuple[int, int]:
         documents = list(documents)
-        ingested, rejected = ingest_storage_snapshots(
-            self.schema, documents, strict=strict
-        )
-        if documents:
-            self._advance("storage", max(d["ts"] for d in documents), ingested)
+        with self._stage("storage") as stage:
+            ingested, rejected = ingest_storage_snapshots(
+                self.schema, documents, strict=strict
+            )
+            stage.records = ingested
+            if documents:
+                self._advance("storage", max(d["ts"] for d in documents), ingested)
         return ingested, rejected
 
     def ingest_cloud(
         self, events: Iterable[Mapping[str, Any]], *, strict: bool = True
     ) -> tuple[int, int]:
         events = list(events)
-        vms, rejected = ingest_cloud_events(self.schema, events, strict=strict)
-        if events:
-            self._advance("cloud", max(e["ts"] for e in events), vms)
+        with self._stage("cloud") as stage:
+            vms, rejected = ingest_cloud_events(self.schema, events, strict=strict)
+            stage.records = vms
+            if events:
+                self._advance("cloud", max(e["ts"] for e in events), vms)
         return vms, rejected
 
     # -- orchestration ---------------------------------------------------------

@@ -1,0 +1,77 @@
+"""Federation-wide telemetry: metrics registry, span tracing, clocks.
+
+One :class:`Observability` bundle travels with each
+:class:`~repro.core.federation.XdmodInstance` — the registry collects
+labelled counters/gauges/histograms, the tracer collects nested spans,
+and the shared injectable clock keeps ``repro/core/`` free of wall-clock
+reads (see :mod:`repro.obs.clock`).  ``GET /metrics`` on the REST server
+renders the registry in Prometheus text format; ``xdmod-repro obs``
+dumps the same data from the CLI.
+"""
+
+from __future__ import annotations
+
+from .clock import Clock, FakeClock, MonotonicClock
+from .metrics import (
+    DEFAULT_BUCKETS,
+    METRIC_NAME_PATTERN,
+    METRIC_NAME_RE,
+    PROMETHEUS_CONTENT_TYPE,
+    MetricError,
+    MetricsRegistry,
+    ParsedExposition,
+    parse_prometheus_text,
+)
+from .trace import SpanRecord, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "METRIC_NAME_PATTERN",
+    "METRIC_NAME_RE",
+    "PROMETHEUS_CONTENT_TYPE",
+    "Clock",
+    "FakeClock",
+    "MetricError",
+    "MetricsRegistry",
+    "MonotonicClock",
+    "Observability",
+    "ParsedExposition",
+    "SpanRecord",
+    "Tracer",
+    "parse_prometheus_text",
+]
+
+
+class Observability:
+    """Registry + tracer + clock, wired together.
+
+    Pass ``Observability(clock=FakeClock(...))`` in tests for
+    deterministic timings; ``Observability.disabled()`` keeps every
+    instrumented call site live but makes each update a no-op (the
+    baseline configuration in ``bench_a11_obs_overhead``).
+    """
+
+    def __init__(
+        self,
+        *,
+        clock: Clock | None = None,
+        enabled: bool = True,
+        max_spans: int = 10000,
+    ) -> None:
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.registry = MetricsRegistry(enabled=enabled)
+        self.tracer = Tracer(self.clock, enabled=enabled, max_spans=max_spans)
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled
+
+    @classmethod
+    def default(cls) -> "Observability":
+        """Enabled, monotonic wall clock — production wiring."""
+        return cls()
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """Instrumentation resolves to no-ops; the baseline bundle."""
+        return cls(enabled=False)

@@ -1,0 +1,52 @@
+"""Injectable clocks for telemetry.
+
+Instrumented code never reads ``time.monotonic`` directly — it asks the
+:class:`Clock` handed to it.  Production wiring uses
+:class:`MonotonicClock`; tests inject :class:`FakeClock` so spans and
+histograms come out byte-identical across runs.  Keeping the only
+wall-clock read in this module (outside ``repro/core/``) is what lets the
+replication layer stay clean under repolint's
+``nondeterminism-in-replication`` rule without suppressions.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Monotonic-seconds time source interface."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """The real thing: wraps :func:`time.monotonic`."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class FakeClock(Clock):
+    """Deterministic clock for tests.
+
+    ``advance`` moves time explicitly; ``auto_advance`` ticks the clock
+    by a fixed step on every :meth:`now` read, so loops that poll the
+    clock for a deadline (``LiveReplicator.wait_until_current``)
+    terminate without wall-clock involvement.
+    """
+
+    def __init__(self, start: float = 0.0, *, auto_advance: float = 0.0) -> None:
+        self._now = float(start)
+        self.auto_advance = float(auto_advance)
+
+    def now(self) -> float:
+        value = self._now
+        self._now += self.auto_advance
+        return value
+
+    def advance(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError("FakeClock cannot run backwards")
+        self._now += dt

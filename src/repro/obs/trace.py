@@ -1,0 +1,208 @@
+"""Nested span tracing with a context-manager API.
+
+Spans nest per thread (a thread-local stack supplies parent ids), carry
+free-form attributes, and are finished in the order they close.  Ids are
+sequential integers under a lock — no uuids, no randomness — and
+timestamps come from the injected :class:`~repro.obs.clock.Clock`, so a
+trace produced under a :class:`~repro.obs.clock.FakeClock` is
+byte-identical across runs (``sort_keys`` JSONL export).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .clock import Clock, MonotonicClock
+
+__all__ = ["SpanRecord", "Tracer"]
+
+
+@dataclass
+class SpanRecord:
+    """One finished span."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start_s: float
+    end_s: float
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "attrs": self.attrs,
+        }
+
+
+class _Span:
+    """Live span; records itself on the tracer when the block exits."""
+
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id", "start_s")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def annotate(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        tracer = self.tracer
+        self.span_id = tracer._next_id()
+        stack = tracer._stack()
+        self.parent_id = stack[-1] if stack else None
+        stack.append(self.span_id)
+        self.start_s = tracer.clock.now()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end_s = self.tracer.clock.now()
+        stack = self.tracer._stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self.tracer._record(
+            SpanRecord(
+                self.span_id, self.parent_id, self.name,
+                self.start_s, end_s, self.attrs,
+            )
+        )
+        return False
+
+
+class _NoopSpan:
+    __slots__ = ()
+
+    def annotate(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Collects spans up to ``max_spans`` (drops and counts the excess)."""
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        *,
+        enabled: bool = True,
+        max_spans: int = 10000,
+    ) -> None:
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.enabled = enabled
+        self.max_spans = max_spans
+        self.spans_dropped = 0
+        self._spans: list[SpanRecord] = []
+        self._id_lock = threading.Lock()
+        self._id = 0
+        self._local = threading.local()
+
+    def _next_id(self) -> int:
+        with self._id_lock:
+            self._id += 1
+            return self._id
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._id_lock:
+            if len(self._spans) >= self.max_spans:
+                self.spans_dropped += 1
+            else:
+                self._spans.append(record)
+
+    def span(self, name: str, **attrs):
+        """``with tracer.span("stage", key=value): ...``"""
+        if not self.enabled:
+            return _NOOP_SPAN
+        return _Span(self, name, attrs)
+
+    @property
+    def finished(self) -> tuple[SpanRecord, ...]:
+        with self._id_lock:
+            return tuple(self._spans)
+
+    def clear(self) -> None:
+        with self._id_lock:
+            self._spans.clear()
+            self.spans_dropped = 0
+
+    # -- export ----------------------------------------------------------------
+
+    def iter_jsonl(self) -> Iterator[str]:
+        for record in self.finished:
+            yield json.dumps(record.to_dict(), sort_keys=True)
+
+    def to_jsonl(self) -> str:
+        lines = list(self.iter_jsonl())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_jsonl(self, path) -> int:
+        """Append-free JSONL dump; returns the number of spans written."""
+        text = self.to_jsonl()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        return len(self.finished)
+
+    # -- slow-span report ------------------------------------------------------
+
+    def slow_spans(self, top: int = 10) -> list[dict]:
+        """Per-name aggregates sorted by total time, worst first."""
+        groups: dict[str, dict] = {}
+        for record in self.finished:
+            g = groups.setdefault(
+                record.name,
+                {"name": record.name, "count": 0, "total_s": 0.0, "max_s": 0.0},
+            )
+            g["count"] += 1
+            g["total_s"] += record.duration_s
+            g["max_s"] = max(g["max_s"], record.duration_s)
+        for g in groups.values():
+            g["mean_s"] = g["total_s"] / g["count"]
+        ordered = sorted(
+            groups.values(), key=lambda g: (-g["total_s"], g["name"])
+        )
+        return ordered[:top]
+
+    def render_slow_report(self, top: int = 10) -> str:
+        rows = self.slow_spans(top)
+        lines = [
+            f"slow spans (top {top} by total time; "
+            f"{len(self.finished)} recorded, {self.spans_dropped} dropped)",
+            f"{'span':<28} {'count':>7} {'total_s':>10} {'mean_s':>10} {'max_s':>10}",
+        ]
+        for g in rows:
+            lines.append(
+                f"{g['name']:<28} {g['count']:>7} {g['total_s']:>10.4f} "
+                f"{g['mean_s']:>10.6f} {g['max_s']:>10.6f}"
+            )
+        if not rows:
+            lines.append("(no spans recorded)")
+        return "\n".join(lines)

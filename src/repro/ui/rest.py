@@ -3,7 +3,12 @@
 A thin stdlib ``http.server`` wrapper exposing realm catalogs and queries
 for one instance (or a federation hub's combined sources):
 
-- ``GET /health`` — liveness
+- ``GET /health`` — liveness; with a federation monitor attached it
+  becomes a readiness payload (``degraded_members``, ``max_lag``)
+- ``GET /status`` — full :class:`~repro.core.monitor.FederationStatus`
+  plus a metrics-registry snapshot, as JSON (needs a monitor)
+- ``GET /metrics`` — the telemetry registry in Prometheus text format
+  (needs an :class:`~repro.obs.Observability` bundle)
 - ``GET /realms`` — realm catalog with metrics and dimensions
 - ``GET /query?realm=jobs&metric=xdsu&start=...&end=...&period=month``
   ``&group_by=resource&view=timeseries&filter.resource=comet,stampede``
@@ -17,6 +22,7 @@ XDMoD's public charts do).
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import threading
 import urllib.parse
@@ -24,13 +30,19 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping
 
 from ..auth.accounts import Session
+from ..obs import PROMETHEUS_CONTENT_TYPE, Observability
 from ..realms.base import Realm, RealmQueryError
 from ..warehouse import Schema
 from .charts import chart_from_result
 
 
 class XdmodApi:
-    """The request-independent application object."""
+    """The request-independent application object.
+
+    ``obs`` enables ``GET /metrics``; ``monitor`` (a
+    :class:`~repro.core.monitor.FederationMonitor`) enables
+    ``GET /status`` and upgrades ``GET /health`` to readiness.
+    """
 
     def __init__(
         self,
@@ -38,10 +50,14 @@ class XdmodApi:
         sources: Schema | Mapping[str, Schema],
         *,
         require_auth: bool = False,
+        obs: Observability | None = None,
+        monitor: Any = None,
     ) -> None:
         self.realms = dict(realms)
         self.sources = sources
         self.require_auth = require_auth
+        self.obs = obs
+        self.monitor = monitor
         self._sessions: dict[str, Session] = {}
 
     def register_session(self, session: Session) -> None:
@@ -66,7 +82,13 @@ class XdmodApi:
         }
         route = parsed.path.rstrip("/") or "/"
         if route in ("/", "/health"):
-            return 200, {"status": "ok", "realms": sorted(self.realms)}
+            return self._health()
+        if route == "/status":
+            return self._status()
+        if route == "/metrics":
+            if self.obs is None:
+                return 404, {"error": "no telemetry registry attached"}
+            return 200, self.obs.registry.snapshot()
         if route == "/realms":
             return 200, {
                 name: {
@@ -80,6 +102,57 @@ class XdmodApi:
                 return 401, {"error": "authentication required"}
             return self._query(params, chart=(route == "/chart"))
         return 404, {"error": f"no route {route!r}"}
+
+    def handle_raw(
+        self, path: str, headers: Mapping[str, str]
+    ) -> tuple[int, str, bytes]:
+        """Dispatch one GET; returns (status, content type, body bytes).
+
+        ``/metrics`` renders Prometheus text exposition; every other
+        route delegates to :meth:`handle` and serializes as JSON.
+        """
+        route = urllib.parse.urlparse(path).path.rstrip("/") or "/"
+        if route == "/metrics" and self.obs is not None:
+            body = self.obs.registry.render_prometheus().encode("utf-8")
+            return 200, PROMETHEUS_CONTENT_TYPE, body
+        status, payload = self.handle(path, headers)
+        return status, "application/json", json.dumps(payload).encode()
+
+    def _health(self) -> tuple[int, dict[str, Any]]:
+        """Liveness, upgraded to readiness when a monitor is attached."""
+        payload: dict[str, Any] = {
+            "status": "ok", "realms": sorted(self.realms),
+        }
+        if self.monitor is not None:
+            snapshot = self.monitor.status()
+            payload["max_lag"] = snapshot.max_lag
+            payload["degraded_members"] = list(snapshot.degraded_members)
+            payload["all_consistent"] = snapshot.all_consistent
+            if snapshot.degraded_members:
+                payload["status"] = "degraded"
+        return 200, payload
+
+    def _status(self) -> tuple[int, dict[str, Any]]:
+        if self.monitor is None:
+            return 404, {"error": "no federation monitor attached"}
+        snapshot = self.monitor.status()
+        members = []
+        for member in snapshot.members:
+            entry = dataclasses.asdict(member)
+            entry["health"] = member.health
+            entry["avg_sync_seconds"] = member.avg_sync_seconds
+            members.append(entry)
+        return 200, {
+            "hub": snapshot.hub,
+            "all_consistent": snapshot.all_consistent,
+            "max_lag": snapshot.max_lag,
+            "degraded_members": list(snapshot.degraded_members),
+            "totals": dict(snapshot.totals),
+            "members": members,
+            "metrics": (
+                self.obs.registry.snapshot() if self.obs is not None else {}
+            ),
+        }
 
     def _query(self, params: Mapping[str, str], *, chart: bool) -> tuple[int, dict[str, Any]]:
         try:
@@ -134,10 +207,11 @@ class _Handler(BaseHTTPRequestHandler):
     api: XdmodApi  # set by server factory
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib API)
-        status, payload = self.api.handle(self.path, dict(self.headers))
-        body = json.dumps(payload).encode()
+        status, content_type, body = self.api.handle_raw(
+            self.path, dict(self.headers)
+        )
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)

@@ -91,9 +91,12 @@ class Binlog:
     deployment where nightly ingest overlaps Tungsten's tailing.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, on_append: Callable[[], None] | None = None) -> None:
         self._events: list[BinlogEvent] = []
         self._lock = threading.Lock()
+        #: telemetry hook — must be cheap and non-raising; invoked outside
+        #: the log lock so a slow observer cannot stall replication tails
+        self._on_append = on_append
 
     def append(self, etype: EventType, table: str, data: dict[str, Any] | None = None) -> BinlogEvent:
         """Record one event; returns it with its assigned LSN."""
@@ -102,7 +105,9 @@ class Binlog:
                 lsn=len(self._events), etype=etype, table=table, data=data or {}
             )
             self._events.append(event)
-            return event
+        if self._on_append is not None:
+            self._on_append()
+        return event
 
     @property
     def head_lsn(self) -> int:

@@ -357,14 +357,33 @@ class Table:
 
 
 class Schema:
-    """A named schema (logical database) with its own binlog."""
+    """A named schema (logical database) with its own binlog.
 
-    def __init__(self, name: str) -> None:
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) is optional; when
+    wired, the schema publishes ``warehouse_binlog_events_total`` and
+    ``warehouse_apply_events_total`` labelled by schema name.  The cost
+    when absent is one ``None`` check per apply.
+    """
+
+    def __init__(self, name: str, *, metrics=None) -> None:
         if not name or not name.replace("_", "a").isalnum():
             raise SchemaError(f"invalid schema name {name!r}")
         self.name = name
         self._tables: dict[str, Table] = {}
-        self.binlog = Binlog()
+        on_append = None
+        self._apply_counter = None
+        if metrics is not None:
+            on_append = metrics.counter(
+                "warehouse_binlog_events_total",
+                "Events appended to each schema's binlog",
+                ("schema",),
+            ).labels(schema=name).inc
+            self._apply_counter = metrics.counter(
+                "warehouse_apply_events_total",
+                "Replicated events applied into each schema",
+                ("schema",),
+            ).labels(schema=name)
+        self.binlog = Binlog(on_append=on_append)
         self._lock = threading.RLock()
 
     def _log(self, etype: EventType, table: str, data: dict[str, Any]) -> BinlogEvent:
@@ -418,6 +437,8 @@ class Schema:
         records the change (supporting hub-of-hubs topologies), but inserts
         use upsert semantics so replay is idempotent.
         """
+        if self._apply_counter is not None:
+            self._apply_counter.inc()
         if event.etype is EventType.CREATE_TABLE:
             schema = TableSchema.from_dict(event.data)
             if schema.name in self._tables:
@@ -473,14 +494,15 @@ class Database:
     its own.
     """
 
-    def __init__(self, name: str = "xdmod") -> None:
+    def __init__(self, name: str = "xdmod", *, metrics=None) -> None:
         self.name = name
+        self.metrics = metrics
         self._schemas: dict[str, Schema] = {}
 
     def create_schema(self, name: str) -> Schema:
         if name in self._schemas:
             raise DuplicateObjectError(f"schema {name!r} already exists")
-        schema = Schema(name)
+        schema = Schema(name, metrics=self.metrics)
         self._schemas[name] = schema
         return schema
 

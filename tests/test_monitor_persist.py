@@ -60,6 +60,75 @@ class TestFederationMonitor:
         assert "site0" in text and "site1" in text
         assert "consistency: OK" in text
 
+    def test_render_includes_registry_rates(self, federation):
+        hub, _, _, _ = federation
+        hub.sync()
+        status = FederationMonitor(hub).status()
+        tight = [m for m in status.members if m.mode == "tight"]
+        assert all(m.syncs > 0 for m in tight)
+        text = FederationMonitor(hub).render()
+        assert "replication rates:" in text
+
+
+class TestMemberHealthPrecedence:
+    """The one-word verdict resolves competing signals in a fixed order:
+    circuit-open > quarantined > inconsistent > probing > lagging > ok."""
+
+    @staticmethod
+    def _status(**overrides):
+        from repro.core.monitor import MemberStatus
+
+        base = dict(
+            name="m", mode="tight", lag_events=0, fed_schema="fed_m",
+            tables=1, fact_job_rows=1, events_applied=1, events_filtered=0,
+            consistent=True,
+        )
+        base.update(overrides)
+        return MemberStatus(**base)
+
+    def test_ok_baseline(self):
+        assert self._status().health == "ok"
+
+    def test_lagging(self):
+        assert self._status(lag_events=3).health == "lagging"
+
+    def test_probing_beats_lagging(self):
+        status = self._status(lag_events=3, circuit_state="half_open")
+        assert status.health == "probing"
+
+    def test_inconsistent_beats_probing_and_lagging(self):
+        status = self._status(
+            lag_events=3, circuit_state="half_open", consistent=False
+        )
+        assert status.health == "INCONSISTENT"
+
+    def test_quarantined_beats_inconsistent(self):
+        status = self._status(
+            lag_events=3, circuit_state="half_open", consistent=False,
+            dead_letters=2,
+        )
+        assert status.health == "quarantined"
+
+    def test_circuit_open_beats_everything(self):
+        status = self._status(
+            lag_events=3, circuit_state="open", consistent=False,
+            dead_letters=2,
+        )
+        assert status.health == "CIRCUIT-OPEN"
+
+    def test_every_non_ok_verdict_counts_as_degraded(self):
+        from repro.core.monitor import FederationStatus
+
+        members = (
+            self._status(name="a", lag_events=1),
+            self._status(name="b", circuit_state="open"),
+            self._status(name="c"),
+        )
+        status = FederationStatus(
+            hub="hub", members=members, totals={}, all_consistent=True
+        )
+        assert status.degraded_members == ("a", "b")
+
 
 class TestPersistence:
     def _database(self):

@@ -428,6 +428,80 @@ class TestOverbroadExcept:
         ) == []
 
 
+# -- R6: unregistered-metric-name ---------------------------------------------
+
+
+class TestMetricName:
+    def test_bad_suffix_fires(self, engine):
+        violations = lint(
+            engine,
+            """
+            def wire(registry):
+                registry.counter("replication_events", "Events", ("channel",))
+            """,
+        )
+        assert [v.rule_id for v in violations] == ["unregistered-metric-name"]
+        assert "replication_events" in violations[0].message
+
+    def test_camel_case_fires(self, engine):
+        assert fired(
+            engine,
+            """
+            def wire(registry):
+                registry.gauge("replicationLag_rows")
+            """,
+        ) == ["unregistered-metric-name"]
+
+    def test_conforming_names_are_silent(self, engine):
+        assert fired(
+            engine,
+            """
+            def wire(registry):
+                registry.counter("replication_events_applied_total")
+                registry.gauge("replication_lag_rows")
+                registry.histogram("replication_pump_seconds")
+                registry.counter("dump_size_bytes")
+            """,
+        ) == []
+
+    def test_fires_in_any_path(self, engine):
+        # unlike the path-scoped rules, naming applies repo-wide
+        assert fired(
+            engine,
+            """
+            def wire(registry):
+                registry.histogram("pump-latency")
+            """,
+            path=CORE,
+        ) == ["unregistered-metric-name"]
+
+    def test_non_registry_receivers_with_other_methods_silent(self, engine):
+        assert fired(
+            engine,
+            """
+            def stats(collections, values):
+                return collections.Counter(values)
+            """,
+        ) == []
+
+    def test_dynamic_names_are_not_checked(self, engine):
+        # only literals are checkable statically; dynamic names are
+        # validated at registration time by MetricsRegistry itself
+        assert fired(
+            engine,
+            """
+            def wire(registry, name):
+                registry.counter(name)
+            """,
+        ) == []
+
+    def test_pattern_matches_runtime_registry_pattern(self):
+        from repro.analysis.rules import MetricNameRule
+        from repro.obs.metrics import METRIC_NAME_PATTERN
+
+        assert MetricNameRule.NAME_RE.pattern == METRIC_NAME_PATTERN
+
+
 # -- suppressions -------------------------------------------------------------
 
 
@@ -592,7 +666,7 @@ class TestCli:
         for rule_id in (
             "nullable-truthiness", "mutation-without-version-bump",
             "nondeterminism-in-replication", "unknown-column-literal",
-            "overbroad-except",
+            "overbroad-except", "unregistered-metric-name",
         ):
             assert rule_id in text
 

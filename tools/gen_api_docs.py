@@ -16,8 +16,8 @@ from typing import Sequence
 PACKAGES = [
     "repro", "repro.warehouse", "repro.simulators", "repro.etl",
     "repro.aggregation", "repro.realms", "repro.core", "repro.auth",
-    "repro.ui", "repro.appkernels", "repro.analysis", "repro.config",
-    "repro.timeutil",
+    "repro.ui", "repro.appkernels", "repro.analysis", "repro.obs",
+    "repro.config", "repro.timeutil",
 ]
 
 FOOTER = """\
@@ -67,6 +67,15 @@ quota sample (only NULL means "no quota configured").
 `tools/repolint.py` (or `xdmod-repro lint`) runs the schema-aware lint
 engine in `repro.analysis` over the tree; see `docs/static-analysis.md`
 for the rule catalog, suppression syntax, and baseline workflow.
+
+## Observability
+
+Every `XdmodInstance` / `FederationHub` carries a `repro.obs.Observability`
+bundle (metrics registry + tracer + injectable clock); `GET /metrics` on
+`repro.ui.rest` serves the registry in Prometheus text format and
+`xdmod-repro obs` dumps the same data from the CLI.  See
+`docs/observability.md` for the metric catalog, span semantics, and the
+overhead budget.
 """
 
 

@@ -666,6 +666,61 @@ class MetricNameRule(Rule):
                 )
 
 
+# -- R7: unknown-alert-rule-id ------------------------------------------------
+
+
+class AlertRuleIdRule(Rule):
+    id = "unknown-alert-rule-id"
+    summary = (
+        "alert-rule id literal must name a rule shipped in the "
+        "repro.obs.alerts catalog"
+    )
+
+    #: mirrors ``{r.id for r in repro.obs.alerts.DEFAULT_ALERT_RULES}`` —
+    #: duplicated here (not imported) so the typed analysis package stays
+    #: self-contained; a test asserts the two sets are identical
+    RULE_IDS = frozenset({
+        "circuit_breaker_flap",
+        "dead_letter_growth",
+        "member_stale",
+        "replication_lag_high",
+        "sync_failure_burn_rate",
+    })
+
+    #: call targets whose first argument is an alert-rule id: the
+    #: :func:`repro.obs.alerts.alert_rule` lookup and
+    #: :meth:`repro.obs.alerts.AlertEngine.state_of`
+    LOOKUP_FUNCS = frozenset({"alert_rule", "state_of"})
+
+    def check(self, tree: ast.Module, ctx: RuleContext) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call) and node.args):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            else:
+                continue
+            if name not in self.LOOKUP_FUNCS:
+                continue
+            first = node.args[0]
+            if not (
+                isinstance(first, ast.Constant)
+                and isinstance(first.value, str)
+            ):
+                continue
+            if first.value not in self.RULE_IDS:
+                yield self.violation(
+                    ctx, first,
+                    f"alert rule id {first.value!r} names no rule in the "
+                    "shipped catalog "
+                    f"({', '.join(sorted(self.RULE_IDS))}); dashboards and "
+                    "runbooks resolve ids against DEFAULT_ALERT_RULES",
+                )
+
+
 #: Registry, in reporting order.
 ALL_RULES: tuple[Rule, ...] = (
     NullableTruthinessRule(),
@@ -674,4 +729,5 @@ ALL_RULES: tuple[Rule, ...] = (
     UnknownColumnRule(),
     OverbroadExceptRule(),
     MetricNameRule(),
+    AlertRuleIdRule(),
 )

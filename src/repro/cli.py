@@ -255,24 +255,124 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _demo_federation(*, inject_faults: bool = False, days: int = 3):
+    """Two-site federation (tight + loose) under a deterministic clock.
+
+    The shared builder behind ``obs trace --federated`` and ``obs
+    alerts``: each satellite ingests a few days of synthetic jobs inside
+    an ``ingest_batch`` span, so every replicated event carries trace
+    context into the hub.  With ``inject_faults`` the tight member joins
+    with a backlog and a target schema that always fails, so sync cycles
+    record ``failed`` outcomes and the burn-rate alert fires.
+    """
+    from .core import FederationHub, FederationMonitor, XdmodInstance
+    from .core.faults import FaultPlan, inject_apply_faults
+    from .obs import FakeClock, Observability
+    from .simulators import (
+        WorkloadGenerator,
+        ccr_like_site,
+        simulate_resource,
+        to_sacct_log,
+    )
+    from .timeutil import ts
+
+    def bundle(name: str) -> Observability:
+        return Observability(
+            clock=FakeClock(auto_advance=0.001), name=name
+        )
+
+    hub = FederationHub("hub", obs=bundle("hub"))
+    start, end = ts(2017, 1, 1), ts(2017, 1, 1 + days)
+    satellites = []
+    for i, mode in enumerate(("tight", "loose")):
+        instance = XdmodInstance(f"site{i}", obs=bundle(f"site{i}"))
+        site = ccr_like_site(scale=0.05, seed=20 + i)
+        records = simulate_resource(
+            site.resource, WorkloadGenerator(site.workload).generate(start, end)
+        )
+        with instance.obs.tracer.span("ingest_batch", site=instance.name):
+            instance.pipeline.ingest_sacct(
+                to_sacct_log(records), default_resource=site.name
+            )
+        hub.join(
+            instance, mode=mode,
+            initial_sync=not (inject_faults and mode == "tight"),
+        )
+        satellites.append(instance)
+    if inject_faults:
+        inject_apply_faults(
+            hub.member("site0").channel,
+            FaultPlan(transient_rate=1.0, transient_burst=10**9),
+        )
+    monitor = FederationMonitor(hub)
+    for _ in range(4):
+        hub.sync()
+        hub.ship_loose()
+        monitor.evaluate_alerts()
+    return hub, satellites, monitor
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
-    """Telemetry dumps from a demo workload (or a saved trace file)."""
+    """Telemetry dumps from a demo workload (or a saved trace file).
+
+    Exit status is meaningful for cron wiring: 0 clean, 1 when the data
+    says something is wrong (firing alerts, an empty metrics registry),
+    2 for operator errors (a trace file that does not exist).
+    """
     if args.action == "trace" and args.trace_file:
-        lines = Path(args.trace_file).read_text().splitlines()
+        path = Path(args.trace_file)
+        if not path.is_file():
+            print(f"trace file {path} does not exist", file=sys.stderr)
+            return 2
+        lines = path.read_text().splitlines()
         for line in lines[-args.tail:]:
             print(line)
+        return 0
+
+    if args.action == "alerts":
+        _, _, monitor = _demo_federation(inject_faults=args.inject_faults)
+        print(monitor.alerts.render())
+        firing = monitor.alerts.firing()
+        if firing:
+            print(f"{len(firing)} alert(s) firing", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.action == "trace" and args.federated:
+        from .obs import FederatedTraceAssembler
+
+        hub, satellites, _ = _demo_federation()
+        assembler = FederatedTraceAssembler(
+            hub.obs.tracer, *(s.obs.tracer for s in satellites)
+        )
+        federated = [
+            tid for tid in assembler.trace_ids()
+            if len(assembler.instances_of(tid)) > 1
+        ]
+        if not federated:
+            print("no cross-instance traces assembled", file=sys.stderr)
+            return 1
+        for tid in federated:
+            print(assembler.render(tid))
         return 0
 
     instance, _, _ = _demo_instance(args.scale)
     obs = instance.obs
     if args.action == "metrics":
-        sys.stdout.write(obs.registry.render_prometheus())
+        text = obs.registry.render_prometheus()
+        if not text:
+            print("metrics registry is empty", file=sys.stderr)
+            return 1
+        sys.stdout.write(text)
         return 0
     if args.action == "slow":
         print(obs.tracer.render_slow_report(args.top))
         return 0
     # trace without --trace-file: tail the demo run's own spans
     lines = obs.tracer.to_jsonl().splitlines()
+    if not lines:
+        print("no spans recorded", file=sys.stderr)
+        return 1
     for line in lines[-args.tail:]:
         print(line)
     return 0
@@ -342,9 +442,10 @@ def build_parser() -> argparse.ArgumentParser:
         "obs", help="dump telemetry from a demo workload"
     )
     p.add_argument(
-        "action", choices=["metrics", "slow", "trace"],
+        "action", choices=["metrics", "slow", "trace", "alerts"],
         help="metrics: Prometheus text; slow: slow-span report; "
-             "trace: span JSONL (tail)",
+             "trace: span JSONL (tail) or --federated trace trees; "
+             "alerts: evaluate the SLO rule catalog on a demo federation",
     )
     p.add_argument("--scale", type=float, default=0.1)
     p.add_argument("--top", type=int, default=10,
@@ -354,6 +455,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-file", default="",
                    help="tail an existing span JSONL instead of running "
                         "the demo workload")
+    p.add_argument("--federated", action="store_true",
+                   help="with trace: run a two-site federation and print "
+                        "the assembled cross-instance trace trees")
+    p.add_argument("--inject-faults", action="store_true",
+                   help="with alerts: make the tight member fail so the "
+                        "burn-rate rules fire (demo/CI artifact)")
     p.set_defaults(func=_cmd_obs)
     return parser
 

@@ -63,7 +63,14 @@ class XdmodInstance:
         #: inject Observability(clock=FakeClock(...)) for determinism or
         #: Observability.disabled() to strip the overhead
         self.obs = obs if obs is not None else Observability.default()
-        self.database = Database(name, metrics=self.obs.registry)
+        if not self.obs.tracer.name:
+            # trace ids and span references are qualified by instance name
+            self.obs.tracer.name = name
+        self.database = Database(
+            name,
+            metrics=self.obs.registry,
+            trace_provider=self.obs.tracer.current_context,
+        )
         self.pipeline = IngestPipeline(
             self.database,
             conversion=conversion,
@@ -196,6 +203,18 @@ class FederationHub(XdmodInstance):
             "Quarantined events currently held per member",
             ("member",),
         )
+        self._m_member_syncs = registry.counter(
+            "federation_member_syncs_total",
+            "Per-member sync/shipment outcomes by status",
+            ("member", "status"),
+        )
+
+    def _record_outcomes(self, out: Mapping[str, MemberSyncOutcome]) -> None:
+        """Count outcomes, refresh gauges, snapshot the metrics history."""
+        for name, outcome in out.items():
+            self._m_member_syncs.labels(member=name, status=outcome.status).inc()
+        self._record_member_gauges()
+        self.obs.history.record()
 
     def _note_transition(self, member: FederationMember, before: CircuitState) -> None:
         after = member.breaker.state
@@ -272,6 +291,7 @@ class FederationHub(XdmodInstance):
                 self.database,
                 fed_schema_name,
                 filter=filter,
+                obs=self.obs,
             )
             if initial_sync:
                 member.loose_channel.ship()
@@ -362,7 +382,7 @@ class FederationHub(XdmodInstance):
                 member.name, status, applied,
                 retried=retried, quarantined=quarantined,
             )
-        self._record_member_gauges()
+        self._record_outcomes(out)
         return out
 
     def ship_loose(self) -> dict[str, MemberSyncOutcome]:
@@ -403,7 +423,7 @@ class FederationHub(XdmodInstance):
             self._m_loose_ships.labels(member=member.name).inc()
             rows = sum(len(schema.table(t)) for t in schema.table_names())
             out[member.name] = MemberSyncOutcome(member.name, "applied", rows)
-        self._record_member_gauges()
+        self._record_outcomes(out)
         return out
 
     def lag(self) -> dict[str, int]:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any
 
+from ..obs import Observability, TraceContext
 from ..warehouse import (
     Database,
     Schema,
@@ -84,17 +85,31 @@ class LooseChannel:
         target_schema_name: str,
         *,
         filter: ReplicationFilter | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.source = source
         self.hub_database = hub_database
         self.target_schema_name = target_schema_name
         self.filter = filter or ReplicationFilter()
+        self.obs = obs
         self.last_shipped_lsn: int | None = None
         self.shipments = 0
 
     def export(self) -> dict[str, Any]:
-        """Produce the (filtered) dump document to ship."""
-        return _filtered_dump(self.source, self.filter)
+        """Produce the (filtered) dump document to ship.
+
+        The dump carries the trace context recorded with the newest
+        satellite binlog event (key ``trace``, outside the checksummed
+        table content), so the hub-side load re-parents into the trace
+        that produced the data.
+        """
+        dump = _filtered_dump(self.source, self.filter)
+        context = self.source.binlog.trace_context(
+            self.source.binlog.head_lsn - 1
+        )
+        if context is not None:
+            dump["trace"] = context.to_payload()
+        return dump
 
     def ship(self) -> Schema:
         """Snapshot the satellite and load it into the hub, replacing the
@@ -123,7 +138,24 @@ class LooseChannel:
         return schema
 
     def _load(self, dump: dict[str, Any]) -> Schema:
-        """Verified load into the hub's per-instance schema."""
+        """Verified load into the hub's per-instance schema.
+
+        Re-parents a ``loose_load`` span under the shipped trace context
+        when the hub carries a tracer, so even batch shipments appear in
+        the federated trace.
+        """
+        context = TraceContext.from_payload(dump.get("trace"))
+        if self.obs is not None and context is not None:
+            with self.obs.tracer.span(
+                "loose_load",
+                remote=context,
+                member=self.source.name,
+                target=self.target_schema_name,
+            ):
+                return self._load_verified(dump)
+        return self._load_verified(dump)
+
+    def _load_verified(self, dump: dict[str, Any]) -> Schema:
         return load_schema(
             self.hub_database,
             dump,
@@ -156,4 +188,5 @@ class LooseChannel:
             target,
             filter=self.filter,
             start_lsn=self.last_shipped_lsn,
+            obs=self.obs,
         )

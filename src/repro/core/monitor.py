@@ -18,7 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
-from ..obs import Observability
+from ..obs import DEFAULT_ALERT_RULES, AlertEngine, AlertRule, Observability
+from ..ui.ascii import render_sparkline
 from .consistency import check_federation
 from .federation import FederationHub
 from .resilience import CircuitState
@@ -96,10 +97,24 @@ class FederationMonitor:
     """Status collection over one hub."""
 
     def __init__(
-        self, hub: FederationHub, *, obs: Observability | None = None
+        self,
+        hub: FederationHub,
+        *,
+        obs: Observability | None = None,
+        alert_rules: tuple[AlertRule, ...] = DEFAULT_ALERT_RULES,
     ) -> None:
         self.hub = hub
         self.obs = obs if obs is not None else hub.obs
+        self.alerts = AlertEngine(self.obs.history, alert_rules)
+
+    def evaluate_alerts(self):
+        """Run the SLO rule catalog over every current member.
+
+        Called by ``GET /alerts`` and ``GET /health``; callable from cron
+        too.  Returns all known alert states (see
+        :meth:`repro.obs.AlertEngine.evaluate`).
+        """
+        return self.alerts.evaluate([m.name for m in self.hub.members])
 
     def _pump_figures(self, member_name: str, applied: int) -> tuple[int, float, float]:
         """(syncs, total pump seconds, events/s) from the registry."""
@@ -197,6 +212,38 @@ class FederationMonitor:
                     f"(avg pump {m.avg_sync_seconds * 1000:.2f} ms "
                     f"over {m.syncs} pumps)"
                     for m in rated
+                )
+            )
+        history = self.obs.history
+        if history.enabled:
+            spark: list[str] = []
+            for member in status.members:
+                lag = [v for _, v in history.samples(
+                    "replication_lag_rows", member=member.name
+                )]
+                if lag:
+                    spark.append(
+                        f"  {member.name:<{name_w}}lag {render_sparkline(lag)}"
+                    )
+                dlq = [v for _, v in history.samples(
+                    "federation_dead_letters_rows", member=member.name
+                )]
+                if any(dlq):
+                    spark.append(
+                        f"  {member.name:<{name_w}}dlq {render_sparkline(dlq)}"
+                    )
+            if spark:
+                lines.append("history (oldest -> newest):")
+                lines.extend(spark)
+        if self.alerts.evaluations:
+            firing = self.alerts.firing()
+            lines.append(
+                f"alerts: {len(firing)} firing"
+                + (
+                    " (" + ", ".join(
+                        f"{s.rule.id}[{s.member}]" for s in firing
+                    ) + ")"
+                    if firing else ""
                 )
             )
         report = self.hub.last_aggregation

@@ -25,6 +25,7 @@ hub's per-instance schema (``fed_<instance>`` by convention).  A
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -43,6 +44,8 @@ USER_PROFILE_TABLES = ("users", "user_profiles", "sessions", "acls")
 RESOURCE_SCOPED_TABLES = (
     "fact_job", "fact_job_perf", "fact_storage", "fact_vm", "fact_vm_interval",
 )
+
+_NULL_CONTEXT = contextlib.nullcontext()
 
 
 def supremm_summary_filter(**kwargs) -> "ReplicationFilter":
@@ -297,21 +300,57 @@ class ReplicationChannel:
     def _pump(self, max_events: int | None = None) -> int:
         events = self.cursor.poll(max_events)
         applied = 0
+        # cross-member propagation: each event carries the trace context
+        # captured at satellite append time; contiguous runs sharing one
+        # (context, table) open a single re-parented hub_apply span, so
+        # span volume is bounded by context transitions, not event count
+        tracer = self.obs.tracer if self.obs is not None else None
+        trace_of = self.source.binlog.trace_context
+        group_span = None
+        group_key = None
+        group_n = 0
+
+        def close_group() -> None:
+            nonlocal group_span, group_key, group_n
+            if group_span is not None:
+                group_span.annotate(events=group_n)
+                group_span.__exit__(None, None, None)
+            group_span = None
+            group_key = None
+            group_n = 0
+
         try:
             for event in events:
+                context = trace_of(event.lsn) if tracer is not None else None
                 if self.filter.admit(event):
+                    if tracer is not None:
+                        key = (context, event.table)
+                        if key != group_key:
+                            close_group()
+                            if context is not None:
+                                group_span = tracer.span(
+                                    "hub_apply",
+                                    remote=context,
+                                    channel=self.name,
+                                    table=event.table,
+                                ).__enter__()
+                                group_key = key
+                        group_n += 1
                     error = self._try_apply(event)
                     if error is not None:
                         attempts = 1 + (
                             self.retry_policy.max_retries if self.retry_policy else 0
                         )
                         if not self.quarantine:
+                            close_group()
                             raise ReplicationError(
                                 f"channel {self.source.name!r}->"
                                 f"{self.target.name!r}: failed applying "
                                 f"LSN {event.lsn}: {error}"
                             ) from error
-                        self.dead_letters.add(event, str(error), attempts)
+                        self.dead_letters.add(
+                            event, str(error), attempts, trace=context
+                        )
                         self.stats.events_quarantined += 1
                     else:
                         self.stats.events_applied += 1
@@ -321,6 +360,7 @@ class ReplicationChannel:
                 self.stats.events_seen += 1
                 self.cursor.commit(event.lsn)
         finally:
+            close_group()
             self.stats.syncs += 1
         return applied
 
@@ -333,12 +373,27 @@ class ReplicationChannel:
         successfully replayed.
         """
         targets = list(lsns) if lsns is not None else self.dead_letters.lsns()
+        tracer = self.obs.tracer if self.obs is not None else None
         replayed = 0
         for lsn in targets:
             if lsn not in self.dead_letters:
                 continue
             letter = self.dead_letters.get(lsn)
-            if self._try_apply(letter.event) is None:
+            if tracer is not None and letter.trace is not None:
+                # re-link the replay to the trace the event originally
+                # carried, so the federated view shows quarantine + replay
+                # as one story
+                span = tracer.span(
+                    "dead_letter_replay",
+                    remote=letter.trace,
+                    channel=self.name,
+                    lsn=lsn,
+                )
+            else:
+                span = _NULL_CONTEXT
+            with span:
+                ok = self._try_apply(letter.event) is None
+            if ok:
                 self.dead_letters.remove(lsn)
                 self.stats.events_applied += 1
                 self.stats.events_quarantined -= 1

@@ -152,12 +152,19 @@ class CircuitBreaker:
 
 @dataclass(frozen=True)
 class DeadLetter:
-    """One quarantined event: the event, why it failed, how hard we tried."""
+    """One quarantined event: the event, why it failed, how hard we tried.
+
+    ``trace`` keeps the propagation context the event carried when it was
+    quarantined (a :class:`~repro.obs.propagation.TraceContext`, or None),
+    so a later :meth:`ReplicationChannel.replay` re-links to the original
+    federated trace.
+    """
 
     lsn: int
     event: BinlogEvent
     error: str
     attempts: int
+    trace: Any = None
 
 
 class DeadLetterQueue:
@@ -166,8 +173,10 @@ class DeadLetterQueue:
     def __init__(self) -> None:
         self._letters: dict[int, DeadLetter] = {}
 
-    def add(self, event: BinlogEvent, error: str, attempts: int) -> DeadLetter:
-        letter = DeadLetter(event.lsn, event, error, attempts)
+    def add(
+        self, event: BinlogEvent, error: str, attempts: int, *, trace: Any = None
+    ) -> DeadLetter:
+        letter = DeadLetter(event.lsn, event, error, attempts, trace)
         self._letters[event.lsn] = letter
         return letter
 

@@ -11,7 +11,15 @@ dumps the same data from the CLI.
 
 from __future__ import annotations
 
+from .alerts import (
+    DEFAULT_ALERT_RULES,
+    AlertEngine,
+    AlertRule,
+    AlertState,
+    alert_rule,
+)
 from .clock import Clock, FakeClock, MonotonicClock
+from .history import DEFAULT_RETENTION, MetricsHistory
 from .metrics import (
     DEFAULT_BUCKETS,
     METRIC_NAME_PATTERN,
@@ -22,22 +30,32 @@ from .metrics import (
     ParsedExposition,
     parse_prometheus_text,
 )
+from .propagation import FederatedTraceAssembler, TraceContext
 from .trace import SpanRecord, Tracer
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "DEFAULT_RETENTION",
     "METRIC_NAME_PATTERN",
     "METRIC_NAME_RE",
     "PROMETHEUS_CONTENT_TYPE",
+    "AlertEngine",
+    "AlertRule",
+    "AlertState",
     "Clock",
+    "DEFAULT_ALERT_RULES",
     "FakeClock",
+    "FederatedTraceAssembler",
     "MetricError",
+    "MetricsHistory",
     "MetricsRegistry",
     "MonotonicClock",
     "Observability",
     "ParsedExposition",
     "SpanRecord",
+    "TraceContext",
     "Tracer",
+    "alert_rule",
     "parse_prometheus_text",
 ]
 
@@ -57,10 +75,16 @@ class Observability:
         clock: Clock | None = None,
         enabled: bool = True,
         max_spans: int = 10000,
+        name: str = "",
     ) -> None:
         self.clock = clock if clock is not None else MonotonicClock()
         self.registry = MetricsRegistry(enabled=enabled)
-        self.tracer = Tracer(self.clock, enabled=enabled, max_spans=max_spans)
+        self.tracer = Tracer(
+            self.clock, enabled=enabled, max_spans=max_spans, name=name
+        )
+        self.history = MetricsHistory(
+            self.registry, self.clock, enabled=enabled
+        )
 
     @property
     def enabled(self) -> bool:

@@ -57,6 +57,13 @@ class MetricError(ValueError):
 
 
 def _fmt(value: float) -> str:
+    # Prometheus spells special values +Inf/-Inf/NaN (int() would raise).
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(value)
@@ -295,6 +302,25 @@ class MetricsRegistry:
             return (0, 0.0)
         return (child.count, child.sum)
 
+    def iter_scalar_samples(self):
+        """Yield ``(sample_name, sorted label items, value)`` per child.
+
+        Counters and gauges yield their value; a histogram yields
+        synthetic ``<name>_count`` and ``<name>_sum`` series.  Iteration
+        order is deterministic (family name, then label values) — this is
+        the walk :class:`~repro.obs.history.MetricsHistory` snapshots.
+        """
+        with self._lock:
+            families = sorted(self._families.values(), key=lambda f: f.name)
+        for family in families:
+            for labels, child in family.items():
+                key = tuple(sorted(labels.items()))
+                if isinstance(child, _Histogram):
+                    yield family.name + "_count", key, float(child.count)
+                    yield family.name + "_sum", key, child.sum
+                else:
+                    yield family.name, key, float(child.value)  # type: ignore[attr-defined]
+
     # -- exposition ------------------------------------------------------------
 
     def render_prometheus(self) -> str:
@@ -429,6 +455,10 @@ def parse_prometheus_text(text: str) -> ParsedExposition:
             labels = ()
         if value_text == "+Inf":
             value = float("inf")
+        elif value_text == "-Inf":
+            value = float("-inf")
+        elif value_text == "NaN":
+            value = float("nan")
         else:
             value = float(value_text)
         key = (name, labels)

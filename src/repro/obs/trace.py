@@ -6,6 +6,19 @@ sequential integers under a lock — no uuids, no randomness — and
 timestamps come from the injected :class:`~repro.obs.clock.Clock`, so a
 trace produced under a :class:`~repro.obs.clock.FakeClock` is
 byte-identical across runs (``sort_keys`` JSONL export).
+
+Federation extension: every span belongs to a *trace*.  A root span
+mints a deterministic trace id (``<tracer name>:<span id>``); nested
+spans inherit their parent's.  :meth:`Tracer.current_context` exports
+the innermost live span as a :class:`~repro.obs.propagation.TraceContext`
+that replication attaches to binlog events and loose dumps, and
+``tracer.span(..., remote=ctx)`` *re-parents* a hub-side span under that
+satellite context: the span adopts the remote trace id and records the
+remote parent's qualified id (``<instance>#<span id>``) so the
+federated-trace assembler can stitch the two tracers' spans into one
+tree.  :meth:`Tracer.merge_remote` imports another tracer's finished
+spans wholesale (ids stay unambiguous because every span carries its
+instance name).
 """
 
 from __future__ import annotations
@@ -13,11 +26,16 @@ from __future__ import annotations
 import json
 import threading
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from .clock import Clock, MonotonicClock
 
 __all__ = ["SpanRecord", "Tracer"]
+
+
+def qualified_id(instance: str, span_id: int) -> str:
+    """Federation-unique span id: ``<instance>#<span id>``."""
+    return f"{instance}#{span_id}"
 
 
 @dataclass
@@ -30,10 +48,17 @@ class SpanRecord:
     start_s: float
     end_s: float
     attrs: dict = field(default_factory=dict)
+    trace_id: str = ""
+    instance: str = ""
+    remote_parent: str | None = None
 
     @property
     def duration_s(self) -> float:
         return self.end_s - self.start_s
+
+    @property
+    def qualified_id(self) -> str:
+        return qualified_id(self.instance, self.span_id)
 
     def to_dict(self) -> dict:
         return {
@@ -44,18 +69,39 @@ class SpanRecord:
             "end_s": self.end_s,
             "duration_s": self.duration_s,
             "attrs": self.attrs,
+            "trace_id": self.trace_id,
+            "instance": self.instance,
+            "remote_parent": self.remote_parent,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SpanRecord":
+        return cls(
+            span_id=int(payload["span_id"]),
+            parent_id=payload.get("parent_id"),
+            name=payload["name"],
+            start_s=float(payload["start_s"]),
+            end_s=float(payload["end_s"]),
+            attrs=dict(payload.get("attrs", {})),
+            trace_id=payload.get("trace_id", ""),
+            instance=payload.get("instance", ""),
+            remote_parent=payload.get("remote_parent"),
+        )
 
 
 class _Span:
     """Live span; records itself on the tracer when the block exits."""
 
-    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id", "start_s")
+    __slots__ = (
+        "tracer", "name", "attrs", "remote",
+        "span_id", "parent_id", "trace_id", "remote_parent", "start_s",
+    )
 
-    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict, remote=None) -> None:
         self.tracer = tracer
         self.name = name
         self.attrs = attrs
+        self.remote = remote
 
     def annotate(self, **attrs) -> None:
         self.attrs.update(attrs)
@@ -64,15 +110,27 @@ class _Span:
         tracer = self.tracer
         self.span_id = tracer._next_id()
         stack = tracer._stack()
-        self.parent_id = stack[-1] if stack else None
-        stack.append(self.span_id)
+        self.parent_id = stack[-1][0] if stack else None
+        remote = self.remote
+        if remote is not None:
+            # re-parented under a context shipped from another instance:
+            # join the remote trace and remember the cross-instance edge
+            self.trace_id = remote.trace_id
+            self.remote_parent = qualified_id(remote.instance, remote.span_id)
+        elif stack:
+            self.trace_id = stack[-1][1]
+            self.remote_parent = None
+        else:
+            self.trace_id = tracer._mint_trace_id(self.span_id)
+            self.remote_parent = None
+        stack.append((self.span_id, self.trace_id))
         self.start_s = tracer.clock.now()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         end_s = self.tracer.clock.now()
         stack = self.tracer._stack()
-        if stack and stack[-1] == self.span_id:
+        if stack and stack[-1][0] == self.span_id:
             stack.pop()
         if exc_type is not None:
             self.attrs["error"] = exc_type.__name__
@@ -80,6 +138,9 @@ class _Span:
             SpanRecord(
                 self.span_id, self.parent_id, self.name,
                 self.start_s, end_s, self.attrs,
+                trace_id=self.trace_id,
+                instance=self.tracer.name,
+                remote_parent=self.remote_parent,
             )
         )
         return False
@@ -102,7 +163,12 @@ _NOOP_SPAN = _NoopSpan()
 
 
 class Tracer:
-    """Collects spans up to ``max_spans`` (drops and counts the excess)."""
+    """Collects spans up to ``max_spans`` (drops and counts the excess).
+
+    ``name`` identifies the owning instance inside a federation; it tags
+    every finished span and prefixes minted trace ids, which keeps span
+    references unambiguous when several tracers' exports are merged.
+    """
 
     def __init__(
         self,
@@ -110,10 +176,12 @@ class Tracer:
         *,
         enabled: bool = True,
         max_spans: int = 10000,
+        name: str = "",
     ) -> None:
         self.clock = clock if clock is not None else MonotonicClock()
         self.enabled = enabled
         self.max_spans = max_spans
+        self.name = name
         self.spans_dropped = 0
         self._spans: list[SpanRecord] = []
         self._id_lock = threading.Lock()
@@ -125,7 +193,10 @@ class Tracer:
             self._id += 1
             return self._id
 
-    def _stack(self) -> list[int]:
+    def _mint_trace_id(self, root_span_id: int) -> str:
+        return f"{self.name or 'trace'}:{root_span_id:06d}"
+
+    def _stack(self) -> list[tuple[int, str]]:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
@@ -138,11 +209,50 @@ class Tracer:
             else:
                 self._spans.append(record)
 
-    def span(self, name: str, **attrs):
-        """``with tracer.span("stage", key=value): ...``"""
+    def span(self, name: str, *, remote=None, **attrs):
+        """``with tracer.span("stage", key=value): ...``
+
+        ``remote`` (a :class:`~repro.obs.propagation.TraceContext`)
+        re-parents the span under a context propagated from another
+        instance: the span joins the remote trace instead of minting or
+        inheriting a local one.
+        """
         if not self.enabled:
             return _NOOP_SPAN
-        return _Span(self, name, attrs)
+        return _Span(self, name, attrs, remote)
+
+    def current_context(self):
+        """The innermost live span as a propagation context (or None).
+
+        Returned contexts are attached to binlog events at append time
+        (see :class:`~repro.warehouse.binlog.Binlog`) and travel with
+        replication deltas and loose dumps.
+        """
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return None
+        from .propagation import TraceContext
+
+        span_id, trace_id = stack[-1]
+        return TraceContext(
+            trace_id=trace_id, span_id=span_id, instance=self.name
+        )
+
+    def merge_remote(self, spans: Iterable[SpanRecord | dict]) -> int:
+        """Import finished spans from another tracer (or a parsed JSONL
+        export).  Returns the number of spans merged.
+
+        Imported records keep their own span ids and instance tags —
+        federation-wide references use the qualified ``instance#id`` form,
+        so no renumbering is needed.  The buffer cap applies as usual.
+        """
+        merged = 0
+        for record in spans:
+            if isinstance(record, dict):
+                record = SpanRecord.from_dict(record)
+            self._record(record)
+            merged += 1
+        return merged
 
     @property
     def finished(self) -> tuple[SpanRecord, ...]:

@@ -1,6 +1,6 @@
 """UI layer: charts, usage explorer, Job Viewer, export, reports, HTTP API."""
 
-from .ascii import render_bars, render_lines, render_table
+from .ascii import render_bars, render_lines, render_sparkline, render_table
 from .charts import ChartBuilder, ChartData, Series, chart_from_result
 from .explorer import ExplorerState, UsageExplorer
 from .export import chart_to_csv, chart_to_json, result_to_csv, result_to_json
@@ -36,6 +36,7 @@ __all__ = [
     "due_on",
     "render_bars",
     "render_lines",
+    "render_sparkline",
     "render_table",
     "result_to_csv",
     "result_to_json",

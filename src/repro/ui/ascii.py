@@ -82,6 +82,33 @@ def render_lines(chart: ChartData, *, height: int = 12, width: int | None = None
     return "\n".join(lines)
 
 
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def render_sparkline(values: Sequence[float], *, width: int = 32) -> str:
+    """One-line trend strip for a metrics-history series.
+
+    Values are downsampled to ``width`` columns (last value per column)
+    and scaled to the series maximum; all-zero or empty input renders as
+    a flat line.  Pure ASCII like the rest of the module, so sparkline
+    panels survive cron email and CI log transcripts.
+    """
+    if not values:
+        return ""
+    if len(values) > width:
+        step = len(values) / width
+        values = [values[min(int((i + 1) * step) - 1, len(values) - 1)]
+                  for i in range(width)]
+    vmax = max(values)
+    if vmax <= 0:
+        return _SPARK_LEVELS[0] * len(values)
+    top = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[max(0, min(top, int(round((v / vmax) * top))))]
+        for v in values
+    )
+
+
 def render_bars(
     labels: Sequence[str], values: Sequence[float], *, title: str = "", width: int = 50
 ) -> str:

@@ -4,11 +4,14 @@ A thin stdlib ``http.server`` wrapper exposing realm catalogs and queries
 for one instance (or a federation hub's combined sources):
 
 - ``GET /health`` — liveness; with a federation monitor attached it
-  becomes a readiness payload (``degraded_members``, ``max_lag``)
+  becomes a readiness payload (``degraded_members``, ``max_lag``, and
+  the SLO engine's currently firing alerts)
 - ``GET /status`` — full :class:`~repro.core.monitor.FederationStatus`
   plus a metrics-registry snapshot, as JSON (needs a monitor)
 - ``GET /metrics`` — the telemetry registry in Prometheus text format
-  (needs an :class:`~repro.obs.Observability` bundle)
+  (needs an :class:`~repro.obs.Observability` bundle); each scrape also
+  snapshots the registry into the metrics history
+- ``GET /alerts`` — evaluate and dump the monitor's SLO alert states
 - ``GET /realms`` — realm catalog with metrics and dimensions
 - ``GET /query?realm=jobs&metric=xdsu&start=...&end=...&period=month``
   ``&group_by=resource&view=timeseries&filter.resource=comet,stampede``
@@ -85,6 +88,8 @@ class XdmodApi:
             return self._health()
         if route == "/status":
             return self._status()
+        if route == "/alerts":
+            return self._alerts()
         if route == "/metrics":
             if self.obs is None:
                 return 404, {"error": "no telemetry registry attached"}
@@ -113,6 +118,8 @@ class XdmodApi:
         """
         route = urllib.parse.urlparse(path).path.rstrip("/") or "/"
         if route == "/metrics" and self.obs is not None:
+            # a scrape is a sampling point: snapshot into the history too
+            self.obs.history.record()
             body = self.obs.registry.render_prometheus().encode("utf-8")
             return 200, PROMETHEUS_CONTENT_TYPE, body
         status, payload = self.handle(path, headers)
@@ -130,7 +137,21 @@ class XdmodApi:
             payload["all_consistent"] = snapshot.all_consistent
             if snapshot.degraded_members:
                 payload["status"] = "degraded"
+            if getattr(self.monitor, "alerts", None) is not None:
+                firing = [
+                    s.to_dict() for s in self.monitor.evaluate_alerts()
+                    if s.status == "firing"
+                ]
+                payload["alerts_firing"] = firing
+                if firing:
+                    payload["status"] = "degraded"
         return 200, payload
+
+    def _alerts(self) -> tuple[int, dict[str, Any]]:
+        if self.monitor is None or getattr(self.monitor, "alerts", None) is None:
+            return 404, {"error": "no federation monitor attached"}
+        self.monitor.evaluate_alerts()
+        return 200, self.monitor.alerts.to_dict()
 
     def _status(self) -> tuple[int, dict[str, Any]]:
         if self.monitor is None:

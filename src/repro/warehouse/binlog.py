@@ -91,12 +91,22 @@ class Binlog:
     deployment where nightly ingest overlaps Tungsten's tailing.
     """
 
-    def __init__(self, *, on_append: Callable[[], None] | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        on_append: Callable[[], None] | None = None,
+        trace_provider: Callable[[], Any] | None = None,
+    ) -> None:
         self._events: list[BinlogEvent] = []
         self._lock = threading.Lock()
         #: telemetry hook — must be cheap and non-raising; invoked outside
         #: the log lock so a slow observer cannot stall replication tails
         self._on_append = on_append
+        #: trace propagation: called per append (outside the lock) for the
+        #: live trace context, kept in a sidecar keyed by LSN so event
+        #: payloads — and therefore binlog/dump checksums — never change
+        self._trace_provider = trace_provider
+        self._trace: dict[int, Any] = {}
 
     def append(self, etype: EventType, table: str, data: dict[str, Any] | None = None) -> BinlogEvent:
         """Record one event; returns it with its assigned LSN."""
@@ -107,7 +117,15 @@ class Binlog:
             self._events.append(event)
         if self._on_append is not None:
             self._on_append()
+        if self._trace_provider is not None:
+            context = self._trace_provider()
+            if context is not None:
+                self._trace[event.lsn] = context
         return event
+
+    def trace_context(self, lsn: int):
+        """Trace context captured when event ``lsn`` was appended (or None)."""
+        return self._trace.get(lsn)
 
     @property
     def head_lsn(self) -> int:

@@ -362,10 +362,12 @@ class Schema:
     ``metrics`` (a :class:`repro.obs.MetricsRegistry`) is optional; when
     wired, the schema publishes ``warehouse_binlog_events_total`` and
     ``warehouse_apply_events_total`` labelled by schema name.  The cost
-    when absent is one ``None`` check per apply.
+    when absent is one ``None`` check per apply.  ``trace_provider``
+    (typically ``Tracer.current_context``) stamps every binlog append
+    with the live trace context for cross-member propagation.
     """
 
-    def __init__(self, name: str, *, metrics=None) -> None:
+    def __init__(self, name: str, *, metrics=None, trace_provider=None) -> None:
         if not name or not name.replace("_", "a").isalnum():
             raise SchemaError(f"invalid schema name {name!r}")
         self.name = name
@@ -383,7 +385,7 @@ class Schema:
                 "Replicated events applied into each schema",
                 ("schema",),
             ).labels(schema=name)
-        self.binlog = Binlog(on_append=on_append)
+        self.binlog = Binlog(on_append=on_append, trace_provider=trace_provider)
         self._lock = threading.RLock()
 
     def _log(self, etype: EventType, table: str, data: dict[str, Any]) -> BinlogEvent:
@@ -494,15 +496,20 @@ class Database:
     its own.
     """
 
-    def __init__(self, name: str = "xdmod", *, metrics=None) -> None:
+    def __init__(
+        self, name: str = "xdmod", *, metrics=None, trace_provider=None
+    ) -> None:
         self.name = name
         self.metrics = metrics
+        self.trace_provider = trace_provider
         self._schemas: dict[str, Schema] = {}
 
     def create_schema(self, name: str) -> Schema:
         if name in self._schemas:
             raise DuplicateObjectError(f"schema {name!r} already exists")
-        schema = Schema(name, metrics=self.metrics)
+        schema = Schema(
+            name, metrics=self.metrics, trace_provider=self.trace_provider
+        )
         self._schemas[name] = schema
         return schema
 

@@ -190,3 +190,67 @@ class TestDumpDamage:
             corrupt_dump_file(path, mode="nope")
         with pytest.raises(ValueError):
             truncate_dump_file(path, keep_fraction=1.5)
+
+# -- trace propagation under faults -------------------------------------------
+
+
+class TestTraceUnderFaults:
+    """Quarantine and replay keep the federated trace story intact."""
+
+    def _traced_setup(self):
+        from repro.obs import FakeClock, Observability
+
+        sat_obs = Observability(
+            clock=FakeClock(auto_advance=0.001), name="sat"
+        )
+        schema = Database(
+            "sat", trace_provider=sat_obs.tracer.current_context
+        ).create_schema("modw")
+        with sat_obs.tracer.span("ingest_batch"):
+            ingest_jobs(schema, [make_job(i) for i in range(5)])
+        hub_obs = Observability(
+            clock=FakeClock(auto_advance=0.001), name="hub"
+        )
+        target = Database("hub").create_schema("fed_sat")
+        channel = ReplicationChannel(
+            schema, target, quarantine=True, obs=hub_obs, name="sat"
+        )
+        poison = schema.binlog.head_lsn - 1  # the final fact insert
+        wrapper = inject_apply_faults(channel, FaultPlan(poison_lsns={poison}))
+        return sat_obs, hub_obs, channel, wrapper, poison
+
+    def test_quarantined_event_keeps_its_trace_context(self):
+        sat_obs, _, channel, _, poison = self._traced_setup()
+        channel.catch_up()
+        letter = channel.dead_letters.get(poison)
+        assert letter.trace is not None
+        assert letter.trace.instance == "sat"
+        assert letter.trace.trace_id.startswith("sat:")
+        # the context names the span that was live at binlog append time
+        ingest = [
+            s for s in sat_obs.tracer.finished if s.name == "ingest_batch"
+        ]
+        assert letter.trace.qualified_span == ingest[0].qualified_id
+
+    def test_replay_relinks_into_the_original_trace(self):
+        from repro.obs import FederatedTraceAssembler
+
+        sat_obs, hub_obs, channel, wrapper, poison = self._traced_setup()
+        channel.catch_up()
+        letter = channel.dead_letters.get(poison)
+        wrapper.plan.heal()
+        assert channel.replay() == 1
+        assert poison not in channel.dead_letters
+        replays = [
+            s for s in hub_obs.tracer.finished
+            if s.name == "dead_letter_replay"
+        ]
+        assert len(replays) == 1
+        assert replays[0].trace_id == letter.trace.trace_id
+        assert replays[0].remote_parent == letter.trace.qualified_span
+        # quarantine + replay assemble into the satellite's ingest trace
+        assembler = FederatedTraceAssembler(hub_obs.tracer, sat_obs.tracer)
+        assert any(
+            s.name == "dead_letter_replay"
+            for s in assembler.reparented_spans(letter.trace.trace_id)
+        )

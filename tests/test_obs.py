@@ -264,7 +264,8 @@ class TestTracer:
             record = json.loads(line)
             assert set(record) == {
                 "span_id", "parent_id", "name", "start_s", "end_s",
-                "duration_s", "attrs",
+                "duration_s", "attrs", "trace_id", "instance",
+                "remote_parent",
             }
 
 

@@ -502,6 +502,79 @@ class TestMetricName:
         assert MetricNameRule.NAME_RE.pattern == METRIC_NAME_PATTERN
 
 
+# -- R7: unknown-alert-rule-id ------------------------------------------------
+
+
+class TestAlertRuleId:
+    def test_unknown_literal_in_alert_rule_fires(self, engine):
+        violations = lint(
+            engine,
+            """
+            def runbook_link(obs):
+                return obs.alert_rule("lag_is_hot")
+            """,
+        )
+        assert [v.rule_id for v in violations] == ["unknown-alert-rule-id"]
+        assert "lag_is_hot" in violations[0].message
+
+    def test_state_of_first_argument_checked(self, engine):
+        assert fired(
+            engine,
+            """
+            def check(monitor, member):
+                return monitor.alerts.state_of("bogus_rule", member)
+            """,
+        ) == ["unknown-alert-rule-id"]
+
+    def test_catalog_ids_are_silent(self, engine):
+        assert fired(
+            engine,
+            """
+            def check(monitor, member):
+                monitor.alerts.state_of("sync_failure_burn_rate", member)
+                monitor.alerts.state_of("member_stale", member)
+                return alert_rule("replication_lag_high")
+            """,
+        ) == []
+
+    def test_bare_lookup_call_checked_too(self, engine):
+        assert fired(
+            engine,
+            """
+            def check():
+                return alert_rule("whatever_rule")
+            """,
+        ) == ["unknown-alert-rule-id"]
+
+    def test_dynamic_ids_are_not_checked(self, engine):
+        # only literals are statically checkable; dynamic ids raise
+        # KeyError at lookup time from alert_rule() itself
+        assert fired(
+            engine,
+            """
+            def check(monitor, rule_id, member):
+                return monitor.alerts.state_of(rule_id, member)
+            """,
+        ) == []
+
+    def test_other_receivers_with_other_methods_silent(self, engine):
+        assert fired(
+            engine,
+            """
+            def check(d):
+                return d.get("anything_at_all")
+            """,
+        ) == []
+
+    def test_rule_ids_match_shipped_catalog(self):
+        from repro.analysis.rules import AlertRuleIdRule
+        from repro.obs.alerts import DEFAULT_ALERT_RULES
+
+        assert AlertRuleIdRule.RULE_IDS == frozenset(
+            r.id for r in DEFAULT_ALERT_RULES
+        )
+
+
 # -- suppressions -------------------------------------------------------------
 
 

@@ -680,6 +680,7 @@ class AlertRuleIdRule(Rule):
     #: duplicated here (not imported) so the typed analysis package stays
     #: self-contained; a test asserts the two sets are identical
     RULE_IDS = frozenset({
+        "api_error_ratio_high",
         "circuit_breaker_flap",
         "dead_letter_growth",
         "member_stale",

@@ -199,18 +199,33 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from .obs import Observability
     from .realms import cloud_realm, jobs_realm, storage_realm
-    from .ui import ApiServer, XdmodApi
+    from .ui import ApiServer, ViewSpec, XdmodApi
 
-    instance, _, _ = _demo_instance(args.scale)
+    instance, _, (start, end) = _demo_instance(args.scale)
+    obs = Observability.default()
     api = XdmodApi(
         {"jobs": jobs_realm(), "storage": storage_realm(),
          "cloud": cloud_realm()},
         instance.schema,
+        obs=obs,
+        cache=not args.no_cache,
     )
+    # the portal's standing charts, kept warm ahead of the first request
+    api.serving.register_views([
+        ViewSpec("jobs", "cpu_hours", start, end, group_by="queue"),
+        ViewSpec("jobs", "xdsu", start, end, group_by="application",
+                 chart=True, top_n=5, title="Top applications by XD SUs"),
+        ViewSpec("jobs", "n_jobs_ended", start, end),
+    ])
+    warmed = api.serving.materialize()
     server = ApiServer(api, host=args.host, port=args.port).start()
+    cache_note = (
+        "cache off" if args.no_cache else f"{warmed} views pre-materialized"
+    )
     print(f"XDMoD API listening on {server.url} "
-          f"(try {server.url}/realms); Ctrl-C to stop")
+          f"(try {server.url}/realms; {cache_note}); Ctrl-C to stop")
     if args.once:  # test hook: don't block
         server.stop()
         return 0
@@ -421,6 +436,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8080)
     p.add_argument("--scale", type=float, default=0.15)
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the query-result cache (every read recomputes)",
+    )
     p.add_argument("--once", action="store_true", help=argparse.SUPPRESS)
     p.set_defaults(func=_cmd_serve)
 

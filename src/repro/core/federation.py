@@ -12,7 +12,7 @@ requirement is that every instance runs the same XDMoD version.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from ..aggregation import AggregationConfig, Aggregator
 from ..etl.pipeline import WAREHOUSE_SCHEMA, IngestPipeline
@@ -177,6 +177,7 @@ class FederationHub(XdmodInstance):
         )
         self._members: dict[str, FederationMember] = {}
         self.last_aggregation = FederationAggregationReport()
+        self._post_aggregation_hooks: list[Callable[[], object]] = []
         registry = self.obs.registry
         self._m_sync_cycles = registry.counter(
             "federation_sync_cycles_total",
@@ -299,12 +300,22 @@ class FederationHub(XdmodInstance):
         return member
 
     def leave(self, name: str, *, drop_data: bool = False) -> None:
-        """Remove a member; optionally drop its replicated schema."""
+        """Remove a member; optionally drop its replicated schema.
+
+        The departed member's per-member gauge series are removed from
+        the registry too — otherwise its last ``replication_lag_rows`` /
+        ``federation_dead_letters_rows`` values would sit in every later
+        scrape as a phantom member (and keep feeding the lag alert).
+        """
         member = self._members.pop(name, None)
         if member is None:
             raise MembershipError(f"{name!r} is not a member")
         if drop_data and self.database.has_schema(member.fed_schema):
             self.database.drop_schema(member.fed_schema)
+        self.obs.registry.remove_labels("replication_lag_rows", member=name)
+        self.obs.registry.remove_labels(
+            "federation_dead_letters_rows", member=name
+        )
 
     def member(self, name: str) -> FederationMember:
         try:
@@ -506,7 +517,19 @@ class FederationHub(XdmodInstance):
             stale=stale,
             quarantined=quarantined,
         )
+        for hook in self._post_aggregation_hooks:
+            hook()
         return out
+
+    def add_post_aggregation_hook(self, hook: Callable[[], object]) -> None:
+        """Run ``hook()`` after every :meth:`aggregate_federation`.
+
+        This is how the serving layer keeps its pre-materialized views
+        warm (``hub.add_post_aggregation_hook(service.materialize)``)
+        without ``repro.core`` importing ``repro.ui``: the hub only sees
+        an opaque callable, invoked once fresh aggregates have landed.
+        """
+        self._post_aggregation_hooks.append(hook)
 
     def reaggregate_federation(
         self,

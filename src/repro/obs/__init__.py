@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from .alerts import (
     DEFAULT_ALERT_RULES,
+    GLOBAL_SCOPE,
     AlertEngine,
     AlertRule,
     AlertState,
@@ -46,6 +47,7 @@ __all__ = [
     "DEFAULT_ALERT_RULES",
     "FakeClock",
     "FederatedTraceAssembler",
+    "GLOBAL_SCOPE",
     "MetricError",
     "MetricsHistory",
     "MetricsRegistry",

@@ -46,8 +46,13 @@ __all__ = [
     "AlertRule",
     "AlertState",
     "DEFAULT_ALERT_RULES",
+    "GLOBAL_SCOPE",
     "alert_rule",
 ]
+
+#: Pseudo-member that global-scope rules are evaluated under: conditions
+#: like the API error ratio describe the hub as a whole, not one member.
+GLOBAL_SCOPE = "_global"
 
 _OPS: dict[str, Callable[[float, float], bool]] = {
     ">": operator.gt,
@@ -62,9 +67,13 @@ class AlertRule:
     """One declarative SLO condition, evaluated per federation member.
 
     ``labels`` narrows the history query (e.g. only the ``state="open"``
-    child of the circuit-transition counter); the member name is always
-    injected as the ``member`` label.  ``for_count`` is how many
-    consecutive breaching evaluations promote pending to firing.
+    child of the circuit-transition counter); with the default
+    ``scope="member"`` the member name is always injected as the
+    ``member`` label.  ``scope="global"`` rules judge a federation-wide
+    series with no member label (the API error ratio) and are evaluated
+    once per cycle under the :data:`GLOBAL_SCOPE` pseudo-member.
+    ``for_count`` is how many consecutive breaching evaluations promote
+    pending to firing.
     """
 
     id: str
@@ -80,6 +89,7 @@ class AlertRule:
     labels: tuple[tuple[str, str], ...] = ()
     denominator: str = ""
     func: str = "increase"  # burn_rate aggregate: increase | delta | rate
+    scope: str = "member"  # member | global
 
     def __post_init__(self) -> None:
         if self.kind not in ("threshold", "absence", "burn_rate"):
@@ -90,13 +100,16 @@ class AlertRule:
             raise ValueError(f"unknown burn-rate func {self.func!r}")
         if self.for_count < 1:
             raise ValueError("for_count must be >= 1")
+        if self.scope not in ("member", "global"):
+            raise ValueError(f"unknown alert scope {self.scope!r}")
 
     def value_for(
         self, history: MetricsHistory, member: str, *, at: float | None = None
     ) -> float | None:
         """The number this rule judges, for one member (None = no data)."""
         labels = dict(self.labels)
-        labels["member"] = member
+        if self.scope == "member":
+            labels["member"] = member
         if self.kind == "threshold":
             return history.last(self.metric, **labels)
         if self.kind == "absence":
@@ -104,8 +117,11 @@ class AlertRule:
         agg = getattr(history, self.func)
         value = agg(self.metric, self.window_s, at=at, **labels)
         if self.denominator:
+            den_labels = (
+                {"member": member} if self.scope == "member" else {}
+            )
             den = history.increase(
-                self.denominator, self.window_s, at=at, member=member
+                self.denominator, self.window_s, at=at, **den_labels
             )
             return value / den if den > 0 else 0.0
         return value
@@ -179,6 +195,20 @@ DEFAULT_ALERT_RULES: tuple[AlertRule, ...] = (
         severity="page",
         summary="no sync outcome recorded for the member recently",
     ),
+    AlertRule(
+        id="api_error_ratio_high",
+        kind="burn_rate",
+        metric="serving_requests_total",
+        labels=(("class", "5xx"),),
+        denominator="serving_requests_total",
+        op=">=",
+        threshold=0.05,
+        window_s=600.0,
+        for_count=2,
+        severity="page",
+        scope="global",
+        summary="at least 5% of recent API requests returned server errors",
+    ),
 )
 
 _RULES_BY_ID: dict[str, AlertRule] = {r.id: r for r in DEFAULT_ALERT_RULES}
@@ -248,11 +278,17 @@ class AlertEngine:
         self.evaluations = 0
 
     def evaluate(self, members: Iterable[str]) -> list[AlertState]:
-        """Run every rule for every member; returns all known states."""
+        """Run every rule for every member; returns all known states.
+
+        ``scope="global"`` rules ignore the member list and evaluate once
+        under the :data:`GLOBAL_SCOPE` pseudo-member.
+        """
         now = self._clock.now()
         self.evaluations += 1
-        for member in members:
-            for rule in self.rules:
+        member_list = list(members)
+        for rule in self.rules:
+            targets = member_list if rule.scope == "member" else [GLOBAL_SCOPE]
+            for member in targets:
                 key = (rule.id, member)
                 state = self._states.get(key)
                 if state is None:

@@ -102,6 +102,9 @@ class _NoopChild:
     def observe(self, value: float) -> None:
         pass
 
+    def remove(self, **labelvalues: str) -> bool:
+        return False
+
 
 _NOOP = _NoopChild()
 
@@ -184,6 +187,33 @@ class _Family:
             with self._lock:
                 child = self._children.setdefault(key, self._child_factory())
         return child
+
+    def remove(self, **labelvalues: str) -> bool:
+        """Drop one labelled child; returns True when it existed.
+
+        Partial label sets drop every child whose labels match the given
+        subset — ``remove(member="siteA")`` on a ``(member, status)``
+        family clears all of that member's children.
+        """
+        unknown = set(labelvalues) - set(self.labelnames)
+        if unknown:
+            raise MetricError(
+                f"metric {self.name!r} has labels {self.labelnames}, "
+                f"got unknown {tuple(sorted(unknown))}"
+            )
+        positions = [
+            (i, str(labelvalues[n]))
+            for i, n in enumerate(self.labelnames)
+            if n in labelvalues
+        ]
+        with self._lock:
+            doomed = [
+                key for key in self._children
+                if all(key[i] == v for i, v in positions)
+            ]
+            for key in doomed:
+                del self._children[key]
+        return bool(doomed)
 
     def _default_child(self):
         if self.labelnames:
@@ -276,6 +306,22 @@ class MetricsRegistry:
         return self._family(
             name, help_text, labelnames, "histogram", lambda: _Histogram(bounds)
         )
+
+    def remove_labels(self, name: str, **labels: str) -> bool:
+        """Drop the labelled children of ``name`` matching ``labels``.
+
+        The reverse of ``.labels(...)``: a label set that stops being
+        meaningful — a federation member that left, a serving cache that
+        was torn down — would otherwise be reported forever by
+        ``/metrics`` at its last value.  Partial label sets clear every
+        matching child.  Returns True when at least one child was
+        removed; unknown metric names are a no-op (False).
+        """
+        with self._lock:
+            family = self._families.get(name)
+        if family is None:
+            return False
+        return family.remove(**labels)
 
     # -- queries ---------------------------------------------------------------
 

@@ -14,6 +14,14 @@ from .reports import (
     run_schedule,
 )
 from .rest import ApiServer, XdmodApi
+from .serving import (
+    QueryCache,
+    QueryService,
+    ServingParamError,
+    ServingResult,
+    ViewSpec,
+    json_sanitize,
+)
 
 __all__ = [
     "ApiServer",
@@ -25,15 +33,21 @@ __all__ = [
     "JobDetail",
     "JobNotFoundError",
     "JobViewer",
+    "QueryCache",
+    "QueryService",
     "ReportDefinition",
     "ReportGenerator",
     "Series",
+    "ServingParamError",
+    "ServingResult",
     "UsageExplorer",
+    "ViewSpec",
     "XdmodApi",
     "chart_from_result",
     "chart_to_csv",
     "chart_to_json",
     "due_on",
+    "json_sanitize",
     "render_bars",
     "render_lines",
     "render_sparkline",

@@ -17,10 +17,21 @@ for one instance (or a federation hub's combined sources):
   ``&group_by=resource&view=timeseries&filter.resource=comet,stampede``
 - ``GET /chart?...`` — same parameters, chart-shaped payload
 
+``/query`` and ``/chart`` are cache-first: they delegate to a
+:class:`~repro.ui.serving.QueryService` whose result cache is keyed on
+the canonical request and invalidated by the warehouse ``data_version``
+counters, support ``offset``/``limit`` pagination, and carry a strong
+``ETag`` so a client re-sending it via ``If-None-Match`` gets an empty
+``304 Not Modified`` instead of a re-serialized body.  ``X-Cache`` on
+each response says whether the answer was a ``hit``, ``miss``, ``stale``
+recompute, or cache ``bypass``.
+
 Authentication: optional bearer tokens; when enabled, ``/query`` and
 ``/chart`` require ``Authorization: Bearer <token>`` naming a session
 token opened through :mod:`repro.auth` (the public catalog stays open, as
-XDMoD's public charts do).
+XDMoD's public charts do).  Expired sessions are evicted from the token
+table on registration and on any authorized request, so the table tracks
+live sessions rather than everything ever issued.
 """
 
 from __future__ import annotations
@@ -34,17 +45,42 @@ from typing import Any, Mapping
 
 from ..auth.accounts import Session
 from ..obs import PROMETHEUS_CONTENT_TYPE, Observability
-from ..realms.base import Realm, RealmQueryError
+from ..realms.base import Realm
 from ..warehouse import Schema
-from .charts import chart_from_result
+from .serving import QueryService, json_sanitize
+
+#: Routes that get their own label on the request counter/histogram;
+#: anything else is folded into "other" to bound label cardinality.
+_KNOWN_ROUTES = (
+    "/", "/health", "/status", "/alerts", "/metrics", "/realms",
+    "/query", "/chart",
+)
+
+
+def _etag_matches(if_none_match: str | None, etag: str) -> bool:
+    """RFC 9110 ``If-None-Match``: comma list, weak prefixes, ``*``."""
+    if not if_none_match:
+        return False
+    for candidate in if_none_match.split(","):
+        candidate = candidate.strip()
+        if candidate == "*":
+            return True
+        if candidate.startswith("W/"):
+            candidate = candidate[2:]
+        if candidate == etag:
+            return True
+    return False
 
 
 class XdmodApi:
     """The request-independent application object.
 
-    ``obs`` enables ``GET /metrics``; ``monitor`` (a
-    :class:`~repro.core.monitor.FederationMonitor`) enables
-    ``GET /status`` and upgrades ``GET /health`` to readiness.
+    ``obs`` enables ``GET /metrics`` and the request/cache telemetry;
+    ``monitor`` (a :class:`~repro.core.monitor.FederationMonitor`)
+    enables ``GET /status`` and upgrades ``GET /health`` to readiness.
+    ``cache=False`` turns the serving layer into a pass-through (every
+    read recomputes) — the benchmark baseline and the ``serve
+    --no-cache`` escape hatch.
     """
 
     def __init__(
@@ -55,16 +91,42 @@ class XdmodApi:
         require_auth: bool = False,
         obs: Observability | None = None,
         monitor: Any = None,
+        cache: bool = True,
+        cache_entries: int = 512,
     ) -> None:
         self.realms = dict(realms)
         self.sources = sources
         self.require_auth = require_auth
         self.obs = obs
         self.monitor = monitor
+        self.serving = QueryService(
+            realms, sources, obs=obs, enabled=cache, max_entries=cache_entries
+        )
         self._sessions: dict[str, Session] = {}
+        self._c_requests = None
+        self._h_latency = None
+        if obs is not None:
+            self._c_requests = obs.registry.counter(
+                "serving_requests_total",
+                "API requests by route and status class",
+                ("route", "class"),
+            )
+            self._h_latency = obs.registry.histogram(
+                "serving_request_seconds",
+                "API request latency by route",
+                ("route",),
+            )
+
+    # -- sessions -------------------------------------------------------------
 
     def register_session(self, session: Session) -> None:
+        self._evict_expired_sessions()
         self._sessions[session.token] = session
+
+    def _evict_expired_sessions(self) -> None:
+        """Drop expired tokens so the table is bounded by live sessions."""
+        for token in [t for t, s in self._sessions.items() if s.expired]:
+            del self._sessions[token]
 
     def _authorized(self, headers: Mapping[str, str]) -> bool:
         if not self.require_auth:
@@ -72,28 +134,46 @@ class XdmodApi:
         auth = headers.get("Authorization", "")
         if not auth.startswith("Bearer "):
             return False
-        session = self._sessions.get(auth[len("Bearer "):])
-        return session is not None and not session.expired
+        token = auth[len("Bearer "):]
+        session = self._sessions.get(token)
+        if session is None:
+            return False
+        if session.expired:
+            del self._sessions[token]
+            return False
+        return True
 
     # -- endpoint handlers ----------------------------------------------------
 
     def handle(self, path: str, headers: Mapping[str, str]) -> tuple[int, dict[str, Any]]:
         """Dispatch one GET; returns (status, json payload)."""
+        status, payload, _ = self.handle_full(path, headers)
+        return status, payload
+
+    def handle_full(
+        self, path: str, headers: Mapping[str, str]
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        """Dispatch one GET; returns (status, payload, extra headers).
+
+        The extra headers carry the serving layer's ``ETag`` and
+        ``X-Cache``; a matching ``If-None-Match`` collapses the response
+        to an empty ``304``.
+        """
         parsed = urllib.parse.urlparse(path)
         params = {
             k: v[0] for k, v in urllib.parse.parse_qs(parsed.query).items()
         }
         route = parsed.path.rstrip("/") or "/"
         if route in ("/", "/health"):
-            return self._health()
+            return (*self._health(), {})
         if route == "/status":
-            return self._status()
+            return (*self._status(), {})
         if route == "/alerts":
-            return self._alerts()
+            return (*self._alerts(), {})
         if route == "/metrics":
             if self.obs is None:
-                return 404, {"error": "no telemetry registry attached"}
-            return 200, self.obs.registry.snapshot()
+                return 404, {"error": "no telemetry registry attached"}, {}
+            return 200, self.obs.registry.snapshot(), {}
         if route == "/realms":
             return 200, {
                 name: {
@@ -101,29 +181,71 @@ class XdmodApi:
                     "dimensions": sorted(realm.dimensions),
                 }
                 for name, realm in self.realms.items()
-            }
+            }, {}
         if route in ("/query", "/chart"):
             if not self._authorized(headers):
-                return 401, {"error": "authentication required"}
-            return self._query(params, chart=(route == "/chart"))
-        return 404, {"error": f"no route {route!r}"}
+                return 401, {"error": "authentication required"}, {}
+            result = self.serving.respond(params, chart=(route == "/chart"))
+            extra: dict[str, str] = {}
+            if result.etag is not None:
+                extra["ETag"] = result.etag
+                extra["X-Cache"] = result.cache
+                if _etag_matches(headers.get("If-None-Match"), result.etag):
+                    return 304, {}, extra
+            return result.status, result.payload, extra
+        return 404, {"error": f"no route {route!r}"}, {}
 
     def handle_raw(
         self, path: str, headers: Mapping[str, str]
     ) -> tuple[int, str, bytes]:
-        """Dispatch one GET; returns (status, content type, body bytes).
+        """Dispatch one GET; returns (status, content type, body bytes)."""
+        status, content_type, body, _ = self.handle_http(path, headers)
+        return status, content_type, body
+
+    def handle_http(
+        self, path: str, headers: Mapping[str, str]
+    ) -> tuple[int, str, bytes, dict[str, str]]:
+        """The full HTTP dispatch: (status, content type, body, headers).
 
         ``/metrics`` renders Prometheus text exposition; every other
-        route delegates to :meth:`handle` and serializes as JSON.
+        route goes through :meth:`handle_full` and serializes as strict
+        JSON (non-finite floats become their ``"NaN"``/``"+Inf"``
+        string spellings — ``json.dumps`` would otherwise emit tokens no
+        JSON parser accepts).  Any handler exception is caught here and
+        answered as a 500 JSON body: a bug in one handler must cost one
+        error response, not a hung client on a dead handler thread.
         """
         route = urllib.parse.urlparse(path).path.rstrip("/") or "/"
-        if route == "/metrics" and self.obs is not None:
-            # a scrape is a sampling point: snapshot into the history too
-            self.obs.history.record()
-            body = self.obs.registry.render_prometheus().encode("utf-8")
-            return 200, PROMETHEUS_CONTENT_TYPE, body
-        status, payload = self.handle(path, headers)
-        return status, "application/json", json.dumps(payload).encode()
+        metric_route = route if route in _KNOWN_ROUTES else "other"
+        started = self.obs.clock.now() if self.obs is not None else 0.0
+        try:
+            if route == "/metrics" and self.obs is not None:
+                # a scrape is a sampling point: snapshot into the history too
+                self.obs.history.record()
+                body = self.obs.registry.render_prometheus().encode("utf-8")
+                response = 200, PROMETHEUS_CONTENT_TYPE, body, {}
+            else:
+                status, payload, extra = self.handle_full(path, headers)
+                if status == 304:
+                    body = b""
+                else:
+                    body = json.dumps(
+                        json_sanitize(payload), allow_nan=False
+                    ).encode()
+                response = status, "application/json", body, extra
+        except Exception as exc:  # the 500 guard: no exception escapes
+            body = json.dumps(
+                {"error": f"internal error: {type(exc).__name__}: {exc}"}
+            ).encode()
+            response = 500, "application/json", body, {}
+        if self.obs is not None:
+            self._c_requests.labels(
+                route=metric_route, **{"class": f"{response[0] // 100}xx"}
+            ).inc()
+            self._h_latency.labels(route=metric_route).observe(
+                self.obs.clock.now() - started
+            )
+        return response
 
     def _health(self) -> tuple[int, dict[str, Any]]:
         """Liveness, upgraded to readiness when a monitor is attached."""
@@ -175,65 +297,19 @@ class XdmodApi:
             ),
         }
 
-    def _query(self, params: Mapping[str, str], *, chart: bool) -> tuple[int, dict[str, Any]]:
-        try:
-            realm = self.realms[params["realm"]]
-        except KeyError:
-            return 400, {"error": f"unknown realm {params.get('realm')!r}"}
-        try:
-            metric = params["metric"]
-            start = int(params["start"])
-            end = int(params["end"])
-        except (KeyError, ValueError) as exc:
-            return 400, {"error": f"bad parameters: {exc}"}
-        filters: dict[str, set[str]] = {}
-        for key, value in params.items():
-            if key.startswith("filter."):
-                filters[key[len("filter."):]] = set(value.split(","))
-        try:
-            result = realm.query(
-                self.sources,
-                metric,
-                start=start,
-                end=end,
-                period=params.get("period", "month"),
-                group_by=params.get("group_by") or None,
-                filters=filters or None,
-                view=params.get("view", "timeseries"),
-            )
-        except RealmQueryError as exc:
-            return 400, {"error": str(exc)}
-        if chart:
-            data = chart_from_result(
-                result,
-                title=params.get("title", f"{params['realm']}:{metric}"),
-                top_n=int(params["top_n"]) if "top_n" in params else None,
-            )
-            return 200, data.to_dict()
-        return 200, {
-            "metric": metric,
-            "rows": [
-                {
-                    "group": r.group,
-                    "period": r.period_label,
-                    "period_start": r.period_start,
-                    "value": r.value,
-                }
-                for r in result.rows
-            ],
-        }
-
 
 class _Handler(BaseHTTPRequestHandler):
     api: XdmodApi  # set by server factory
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib API)
-        status, content_type, body = self.api.handle_raw(
+        status, content_type, body, extra = self.api.handle_http(
             self.path, dict(self.headers)
         )
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in extra.items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 

@@ -286,6 +286,7 @@ class Table:
         """Invalidate the columnar cache; called from every mutation point
         (the same points that record a binlog event)."""
         self._data_version += 1
+        self._owner._bump_data_version()
         if self._columnar_cache:
             self._columnar_cache.clear()
 
@@ -372,6 +373,7 @@ class Schema:
             raise SchemaError(f"invalid schema name {name!r}")
         self.name = name
         self._tables: dict[str, Table] = {}
+        self._data_version = 0
         on_append = None
         self._apply_counter = None
         if metrics is not None:
@@ -391,6 +393,21 @@ class Schema:
     def _log(self, etype: EventType, table: str, data: dict[str, Any]) -> BinlogEvent:
         return self.binlog.append(etype, table, data)
 
+    def _bump_data_version(self) -> None:
+        self._data_version += 1
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic counter bumped on any mutation anywhere in the schema.
+
+        Covers row mutations in every table (via :meth:`Table._mutated`)
+        plus table creation/removal, so anything derived from the schema's
+        contents — most importantly the serving layer's query-result cache
+        (:mod:`repro.ui.serving`) — can detect staleness with one integer
+        comparison instead of walking tables.
+        """
+        return self._data_version
+
     def create_table(self, table_schema: TableSchema) -> Table:
         with self._lock:
             if table_schema.name in self._tables:
@@ -399,6 +416,7 @@ class Schema:
                 )
             table = Table(self, table_schema)
             self._tables[table_schema.name] = table
+            self._bump_data_version()
             self._log(
                 EventType.CREATE_TABLE, table_schema.name, table_schema.to_dict()
             )
@@ -411,6 +429,7 @@ class Schema:
                     f"schema {self.name!r}: no table {name!r}"
                 )
             del self._tables[name]
+            self._bump_data_version()
             self._log(EventType.DROP_TABLE, name, {})
 
     def table(self, name: str) -> Table:

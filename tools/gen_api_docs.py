@@ -62,6 +62,54 @@ zero-length `running` VM intervals count toward `n_vms_active` in the
 period containing `start_ts`; a storage `soft_quota_gb` of `0.0` is a real
 quota sample (only NULL means "no quota configured").
 
+## Serving layer (cache-first REST reads)
+
+`GET /query` and `GET /chart` on `repro.ui.rest.XdmodApi` are served by
+`repro.ui.serving.QueryService`, a query-result cache in front of the
+realm/aggregation engine:
+
+- **Cache key**: the canonical request tuple `(chart?, realm, metric,
+  start, end, period, group_by, sorted filters, view, top_n, title)`.
+  `offset`/`limit` are *excluded* — pagination slices the cached full
+  payload, so every page of a result is served by one cached compute
+  (per-window slices and their ETags are memoized inside the entry).
+- **Invalidation**: every cache entry is stamped with the
+  `Schema.data_version` counters of all source schemas at build time.
+  `data_version` is a monotonic per-schema counter bumped by *any*
+  mutation (insert/update/delete/truncate, replication replace,
+  create/drop table), so the freshness check is one integer comparison
+  per source schema, never a row scan.  A hit returns the stored payload
+  without touching the aggregation engine; a version mismatch counts as
+  `stale`, recomputes, and re-stamps the entry in place; capacity is
+  bounded by LRU eviction (`cache_entries`, default 512).  Cached and
+  uncached responses are byte-identical — the cache changes latency,
+  never answers (`XdmodApi(cache=False)` / `xdmod-repro serve
+  --no-cache` is the pass-through baseline).
+- **ETag semantics**: each 200 response carries a strong `ETag` (SHA-256
+  of the canonical JSON of the exact paginated payload) plus an
+  `X-Cache: hit|miss|stale|bypass` header.  A request whose
+  `If-None-Match` matches (comma lists, `W/` prefixes and `*` per
+  RFC 9110) gets an empty `304 Not Modified`.  ETags change whenever the
+  data or the pagination window changes.
+- **Materialized views**: `QueryService.register_view(ViewSpec(...))`
+  declares a standing query; `QueryService.materialize()` recomputes all
+  of them through the normal cache path.  Wire it to the hub with
+  `hub.add_post_aggregation_hook(service.materialize)` and the portal's
+  standing charts are warm before the first request after every
+  `aggregate_federation()`.
+- **Telemetry** (with an `Observability` bundle attached):
+  `serving_cache_lookups_total{result}`, `serving_cache_evictions_total`,
+  `serving_cache_entries_rows`, `serving_view_refreshes_total`,
+  `serving_requests_total{route,class}` and the
+  `serving_request_seconds{route}` latency histogram; the shipped
+  `api_error_ratio_high` SLO rule pages when >=5% of recent requests are
+  5xx.  All JSON bodies are strict JSON — non-finite samples serialize
+  as the strings `"NaN"` / `"+Inf"` / `"-Inf"`.
+
+`benchmarks/bench_a13_serving.py` prices the layer: warm-cache `/query`
+p99 must be at least 5x faster than the uncached baseline at equal
+correctness.
+
 ## Static analysis
 
 `tools/repolint.py` (or `xdmod-repro lint`) runs the schema-aware lint

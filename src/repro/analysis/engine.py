@@ -1,9 +1,21 @@
 """Lint engine: runs the rule set over files and applies suppressions.
 
 The engine is deliberately small — rules do the thinking, the engine does
-the plumbing: parse, dispatch, filter suppressed findings, sort.  The
-schema catalog is built once per engine (importing every realm schema is
-the expensive part) and shared across files.
+the plumbing: parse once per file, dispatch, filter suppressed findings,
+sort.  The schema catalog is built once per engine (importing every realm
+schema is the expensive part) and shared across files.
+
+Two rule kinds:
+
+* :class:`~repro.analysis.rules.Rule` — sees one file at a time.
+* :class:`~repro.analysis.concurrency.ProjectRule` — per-file
+  ``collect`` (map) plus a global ``finalize`` (reduce) that sees every
+  file's summary; this is how R9 builds the cross-module lock graph.
+
+``lint_paths(..., jobs=N)`` fans the per-file phase out over a process
+pool.  Files are independent, collect summaries are picklable, and
+``executor.map`` preserves input order, so the output is byte-identical
+to a sequential run.
 """
 
 from __future__ import annotations
@@ -13,8 +25,26 @@ import os
 from typing import Iterable, Sequence
 
 from .catalog import SchemaCatalog, build_default_catalog
+from .concurrency import (
+    ALL_PROJECT_RULES,
+    BlockingCallUnderLockRule,
+    ProjectRule,
+    UnguardedSharedMutationRule,
+)
 from .model import Severity, Violation, parse_suppressions
 from .rules import ALL_RULES, DEFAULT_CONFIG, LintConfig, Rule, RuleContext
+
+#: the complete per-file rule set: the schema rules (R1–R7, defined in
+#: .rules) plus the file-scoped concurrency rules (R8/R10, defined in
+#: .concurrency — they live there, not in .rules, because they share the
+#: lock-inference pass with the project-wide R9)
+ALL_FILE_RULES: tuple[Rule, ...] = ALL_RULES + (
+    UnguardedSharedMutationRule(),
+    BlockingCallUnderLockRule(),
+)
+
+#: per-file result: (file-rule findings, {project-rule id: collect summary})
+FileResult = tuple[list[Violation], dict[str, object]]
 
 
 class LintEngine:
@@ -24,33 +54,41 @@ class LintEngine:
         self,
         catalog: SchemaCatalog | None = None,
         config: LintConfig = DEFAULT_CONFIG,
-        rules: Sequence[Rule] = ALL_RULES,
+        rules: Sequence[Rule] = ALL_FILE_RULES,
+        project_rules: Sequence[ProjectRule] = ALL_PROJECT_RULES,
     ) -> None:
         self.catalog = catalog if catalog is not None else build_default_catalog()
         self.config = config
         if config.enabled_rules is not None:
             rules = [r for r in rules if r.id in config.enabled_rules]
+            project_rules = [
+                r for r in project_rules if r.id in config.enabled_rules
+            ]
         self.rules: tuple[Rule, ...] = tuple(rules)
+        self.project_rules: tuple[ProjectRule, ...] = tuple(project_rules)
 
     # -- single-source entry points ---------------------------------------
 
-    def lint_source(self, source: str, path: str) -> list[Violation]:
-        """Lint one file's source text; ``path`` drives rule scoping."""
+    def _lint_one(self, source: str, path: str) -> FileResult:
+        """Parse once; run file rules and project-rule collects."""
         try:
             tree = ast.parse(source, filename=path)
         except SyntaxError as exc:
             line = exc.lineno or 1
-            return [
-                Violation(
-                    rule_id="syntax-error",
-                    path=path,
-                    line=line,
-                    col=(exc.offset or 1) - 1,
-                    message=f"file does not parse: {exc.msg}",
-                    snippet="",
-                    severity=Severity.ERROR,
-                )
-            ]
+            return (
+                [
+                    Violation(
+                        rule_id="syntax-error",
+                        path=path,
+                        line=line,
+                        col=(exc.offset or 1) - 1,
+                        message=f"file does not parse: {exc.msg}",
+                        snippet="",
+                        severity=Severity.ERROR,
+                    )
+                ],
+                {},
+            )
         ctx = RuleContext(
             path=path,
             source=source,
@@ -66,23 +104,100 @@ class LintEngine:
             if not suppressions.suppresses(violation.line, violation.rule_id)
         ]
         findings.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+        summaries = {
+            rule.id: rule.collect(tree, ctx) for rule in self.project_rules
+        }
+        return findings, summaries
+
+    def _finalize(self, results: Sequence[FileResult]) -> list[Violation]:
+        """Run every project rule's reduce phase over the collected
+        summaries; project findings sort after the per-file stream."""
+        findings: list[Violation] = []
+        for rule in self.project_rules:
+            summaries = [
+                result[1][rule.id] for result in results if rule.id in result[1]
+            ]
+            findings.extend(rule.finalize(summaries))
+        findings.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
         return findings
+
+    def lint_source(self, source: str, path: str) -> list[Violation]:
+        """Lint one file's source text; ``path`` drives rule scoping.
+
+        Project rules run over this single file (R9 still catches
+        inversions whose both orders live in one module).
+        """
+        result = self._lint_one(source, path)
+        return result[0] + self._finalize([result])
+
+    def lint_sources(self, sources: Sequence[tuple[str, str]]) -> list[Violation]:
+        """Lint ``(path, source)`` pairs as one project (no filesystem);
+        the multi-file entry point fixture tests use for R9."""
+        results = [self._lint_one(source, path) for path, source in sources]
+        findings = [v for result in results for v in result[0]]
+        return findings + self._finalize(results)
 
     def lint_file(self, path: str) -> list[Violation]:
         with open(path, "r", encoding="utf-8") as handle:
             source = handle.read()
         return self.lint_source(source, path)
 
-    def lint_paths(self, paths: Iterable[str]) -> list[Violation]:
-        """Lint files and directories (directories walked for ``*.py``)."""
-        findings: list[Violation] = []
+    def _lint_file_result(self, path: str) -> FileResult:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        return self._lint_one(source, path)
+
+    def lint_paths(self, paths: Iterable[str], jobs: int = 1) -> list[Violation]:
+        """Lint files and directories (directories walked for ``*.py``).
+
+        ``jobs > 1`` distributes the per-file phase across a process
+        pool; output ordering is identical to the sequential run.  The
+        worker engines are rebuilt from ``self.config`` (a custom
+        ``catalog`` or rule list is not shipped to workers — the CLI
+        always uses the defaults, which is the supported parallel case).
+        """
+        files: list[str] = []
         for path in paths:
-            for file_path in sorted(_iter_python_files(path)):
-                findings.extend(self.lint_file(file_path))
-        return findings
+            files.extend(sorted(iter_python_files(path)))
+        if jobs > 1 and len(files) > 1:
+            results = _parallel_lint(files, self.config, jobs)
+        else:
+            results = [self._lint_file_result(file_path) for file_path in files]
+        findings = [v for result in results for v in result[0]]
+        return findings + self._finalize(results)
 
 
-def _iter_python_files(path: str) -> Iterable[str]:
+# -- process-pool plumbing ----------------------------------------------------
+
+_WORKER_ENGINE: LintEngine | None = None
+
+
+def _init_worker(config: LintConfig) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = LintEngine(config=config)
+
+
+def _worker_lint(path: str) -> FileResult:
+    assert _WORKER_ENGINE is not None, "worker initializer did not run"
+    return _WORKER_ENGINE._lint_file_result(path)
+
+
+def _parallel_lint(
+    files: Sequence[str], config: LintConfig, jobs: int
+) -> list[FileResult]:
+    from concurrent.futures import ProcessPoolExecutor
+
+    jobs = min(jobs, len(files))
+    chunksize = max(1, len(files) // (jobs * 4))
+    with ProcessPoolExecutor(
+        max_workers=jobs, initializer=_init_worker, initargs=(config,)
+    ) as executor:
+        # map() preserves input order -> deterministic output
+        return list(executor.map(_worker_lint, files, chunksize=chunksize))
+
+
+def iter_python_files(path: str) -> Iterable[str]:
+    """Yield ``*.py`` under ``path`` (or ``path`` itself), sorted walk."""
     if os.path.isfile(path):
         yield path
         return
@@ -93,3 +208,7 @@ def _iter_python_files(path: str) -> Iterable[str]:
         for name in sorted(files):
             if name.endswith(".py"):
                 yield os.path.join(root, name)
+
+
+#: backwards-compatible private alias
+_iter_python_files = iter_python_files

@@ -53,6 +53,10 @@ class LintConfig:
     )
     #: paths whose loops must not swallow broad exceptions silently
     except_paths: tuple[str, ...] = ("repro/core/",)
+    #: hot paths where blocking calls under a held lock are flagged (R10)
+    blocking_paths: tuple[str, ...] = (
+        "repro/ui/", "repro/core/", "repro/warehouse/", "repro/obs/",
+    )
 
 
 DEFAULT_CONFIG = LintConfig()

@@ -1,20 +1,30 @@
 """Shared CLI runner behind ``tools/repolint.py`` and ``xdmod-repro lint``.
 
-Exit codes: 0 clean (all findings baselined or none), 1 new violations,
-2 usage/configuration error (bad baseline file, unknown rule id, missing
-path).
+Exit codes (documented contract, relied on by CI):
+
+* ``0`` — clean: no findings at all, or every finding is baselined.
+  The summary line distinguishes the two (``clean (no findings)`` vs.
+  ``0 new violation(s), K baselined``) so a baselined tree is never
+  mistaken for a genuinely clean one.
+* ``1`` — new (non-baselined) violations were found.
+* ``2`` — the lint run itself failed: usage/configuration error (bad
+  baseline file, unknown rule id, missing path) or an internal error in
+  the engine (reported with a traceback on stderr).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import traceback
 from typing import Sequence
 
 from .baseline import load_baseline, partition, save_baseline
-from .engine import LintEngine
-from .rules import ALL_RULES, DEFAULT_CONFIG, LintConfig
+from .concurrency import ALL_PROJECT_RULES
+from .engine import ALL_FILE_RULES, LintEngine
+from .rules import DEFAULT_CONFIG, LintConfig
 
 DEFAULT_BASELINE = ".repolint-baseline.json"
 
@@ -49,6 +59,17 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="lint files across N worker processes (0 = cpu count; "
+        "default: 1). Output is identical to a sequential run.",
+    )
+
+
+def _all_rule_ids() -> set[str]:
+    return {rule.id for rule in ALL_FILE_RULES} | {
+        rule.id for rule in ALL_PROJECT_RULES
+    }
 
 
 def run_lint(args: argparse.Namespace, out=None) -> int:
@@ -56,14 +77,18 @@ def run_lint(args: argparse.Namespace, out=None) -> int:
     out = out if out is not None else sys.stdout
 
     if args.list_rules:
-        for rule in ALL_RULES:
+        for rule in ALL_FILE_RULES:
             print(f"{rule.id}: {rule.summary}", file=out)
+        for project_rule in ALL_PROJECT_RULES:
+            print(
+                f"{project_rule.id}: {project_rule.summary} [project-wide]",
+                file=out,
+            )
         return 0
 
     config = DEFAULT_CONFIG
     if args.rules:
-        known = {rule.id for rule in ALL_RULES}
-        unknown = sorted(set(args.rules) - known)
+        unknown = sorted(set(args.rules) - _all_rule_ids())
         if unknown:
             print(
                 f"repolint: unknown rule id(s): {', '.join(unknown)} "
@@ -73,11 +98,21 @@ def run_lint(args: argparse.Namespace, out=None) -> int:
             return 2
         config = LintConfig(enabled_rules=frozenset(args.rules))
 
+    jobs = getattr(args, "jobs", 1)
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+
     engine = LintEngine(config=config)
     try:
-        findings = engine.lint_paths(args.paths)
+        findings = engine.lint_paths(args.paths, jobs=jobs)
     except OSError as exc:
         print(f"repolint: {exc}", file=sys.stderr)
+        return 2
+    except Exception:
+        # Internal engine/rule failure: distinct from "violations found"
+        # so CI can tell a broken linter from a dirty tree.
+        print("repolint: internal error", file=sys.stderr)
+        traceback.print_exc(file=sys.stderr)
         return 2
 
     if args.write_baseline:
@@ -108,9 +143,12 @@ def run_lint(args: argparse.Namespace, out=None) -> int:
     else:
         for violation in new:
             print(violation.format(), file=out)
-        summary = f"repolint: {len(new)} new violation(s)"
-        if known:
-            summary += f", {len(known)} baselined"
+        if not new and not known:
+            summary = "repolint: clean (no findings)"
+        else:
+            summary = f"repolint: {len(new)} new violation(s)"
+            if known:
+                summary += f", {len(known)} baselined"
         print(summary, file=out)
     return 1 if new else 0
 

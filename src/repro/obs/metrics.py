@@ -24,8 +24,9 @@ telemetry error, corruption is not possible).
 from __future__ import annotations
 
 import re
-import threading
 from typing import Callable, Iterable, Mapping
+
+from ..analysis.sanitizer import create_lock
 
 __all__ = [
     "DEFAULT_BUCKETS",
@@ -173,7 +174,7 @@ class _Family:
         self.type_name = type_name
         self._child_factory = child_factory
         self._children: dict[tuple[str, ...], object] = {}
-        self._lock = threading.Lock()
+        self._lock = create_lock(f"Family:{name}")  # guards: _children
 
     def labels(self, **labelvalues: str):
         if set(labelvalues) != set(self.labelnames):
@@ -255,7 +256,7 @@ class MetricsRegistry:
     def __init__(self, *, enabled: bool = True) -> None:
         self.enabled = enabled
         self._families: dict[str, _Family] = {}
-        self._lock = threading.Lock()
+        self._lock = create_lock("MetricsRegistry")  # guards: _families
 
     # -- registration ----------------------------------------------------------
 

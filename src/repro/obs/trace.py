@@ -28,6 +28,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from ..analysis.sanitizer import create_lock
 from .clock import Clock, MonotonicClock
 
 __all__ = ["SpanRecord", "Tracer"]
@@ -184,7 +185,7 @@ class Tracer:
         self.name = name
         self.spans_dropped = 0
         self._spans: list[SpanRecord] = []
-        self._id_lock = threading.Lock()
+        self._id_lock = create_lock("Tracer.id")  # guards: _id, _spans, spans_dropped
         self._id = 0
         self._local = threading.local()
 

@@ -43,6 +43,7 @@ import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping
 
+from ..analysis.sanitizer import create_lock
 from ..auth.accounts import Session
 from ..obs import PROMETHEUS_CONTENT_TYPE, Observability
 from ..realms.base import Realm
@@ -102,6 +103,12 @@ class XdmodApi:
         self.serving = QueryService(
             realms, sources, obs=obs, enabled=cache, max_entries=cache_entries
         )
+        # ThreadingHTTPServer dispatches each request on its own thread,
+        # so registration, eviction, and auth checks race without a lock:
+        # two requests presenting the same expired token both pass the
+        # ``in`` check and the second ``del`` raises KeyError (a 500 to
+        # the client).
+        self._session_lock = create_lock("XdmodApi.sessions")  # guards: _sessions
         self._sessions: dict[str, Session] = {}
         self._c_requests = None
         self._h_latency = None
@@ -120,12 +127,17 @@ class XdmodApi:
     # -- sessions -------------------------------------------------------------
 
     def register_session(self, session: Session) -> None:
-        self._evict_expired_sessions()
-        self._sessions[session.token] = session
+        with self._session_lock:
+            self._evict_expired_sessions()
+            self._sessions[session.token] = session
 
     def _evict_expired_sessions(self) -> None:
-        """Drop expired tokens so the table is bounded by live sessions."""
+        """Drop expired tokens so the table is bounded by live sessions.
+
+        Caller must hold ``_session_lock``.
+        """
         for token in [t for t, s in self._sessions.items() if s.expired]:
+            # repolint: ignore[unguarded-shared-mutation] -- lock held by caller (see docstring)
             del self._sessions[token]
 
     def _authorized(self, headers: Mapping[str, str]) -> bool:
@@ -135,12 +147,15 @@ class XdmodApi:
         if not auth.startswith("Bearer "):
             return False
         token = auth[len("Bearer "):]
-        session = self._sessions.get(token)
-        if session is None:
-            return False
-        if session.expired:
-            del self._sessions[token]
-            return False
+        with self._session_lock:
+            session = self._sessions.get(token)
+            if session is None:
+                return False
+            if session.expired:
+                # pop, not del: a concurrent request with the same token
+                # may already have evicted it
+                self._sessions.pop(token, None)
+                return False
         return True
 
     # -- endpoint handlers ----------------------------------------------------

@@ -39,11 +39,11 @@ from __future__ import annotations
 import hashlib
 import json
 import math
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Mapping
 
+from ..analysis.sanitizer import create_lock
 from ..obs import Observability
 from ..realms.base import Realm, RealmQueryError
 from ..warehouse import Schema
@@ -187,7 +187,7 @@ MAX_PAGES_PER_ENTRY = 16
 
 
 class _CacheEntry:
-    __slots__ = ("payload", "versions", "hits", "pages")
+    __slots__ = ("payload", "versions", "hits", "pages", "_plock")
 
     def __init__(self, payload: dict[str, Any], versions: tuple) -> None:
         self.payload = payload
@@ -195,8 +195,23 @@ class _CacheEntry:
         self.hits = 0
         # (offset, limit) -> (paginated payload, etag): a hit on a seen
         # window returns a fully built response without re-slicing or
-        # re-hashing
+        # re-hashing.  Guarded by its own per-entry lock: concurrent
+        # /query clients paginate the same resident entry, and an
+        # unlocked check-then-insert both races the MAX_PAGES_PER_ENTRY
+        # bound and mutates the dict mid-``get`` on other threads.
         self.pages: dict[tuple, tuple[dict[str, Any], str]] = {}
+        self._plock = create_lock("QueryCache.entry")  # guards: pages
+
+    def get_page(self, page_key: tuple) -> tuple[dict[str, Any], str] | None:
+        with self._plock:
+            return self.pages.get(page_key)
+
+    def memo_page(self, page_key: tuple, page: dict[str, Any], etag: str) -> None:
+        """Memoize one window; the bound check and the insert are one
+        critical section, so the entry can never exceed the page cap."""
+        with self._plock:
+            if len(self.pages) < MAX_PAGES_PER_ENTRY:
+                self.pages[page_key] = (page, etag)
 
 
 class QueryCache:
@@ -213,7 +228,7 @@ class QueryCache:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self._entries: "OrderedDict[tuple, _CacheEntry]" = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = create_lock("QueryCache")  # guards: _entries
         if registry is not None:
             lookups = registry.counter(
                 "serving_cache_lookups_total",
@@ -411,14 +426,14 @@ class QueryService:
             if self.enabled:
                 entry = self.cache.store(request.key, versions, full)
         else:
-            memo = entry.pages.get(page_key)
+            memo = entry.get_page(page_key)
             if memo is not None:
                 return ServingResult(200, memo[0], etag=memo[1], cache="hit")
             full = entry.payload
         page = self._paginate(full, request)
         etag = self._etag(page)
-        if entry is not None and len(entry.pages) < MAX_PAGES_PER_ENTRY:
-            entry.pages[page_key] = (page, etag)
+        if entry is not None:
+            entry.memo_page(page_key, page, etag)
         return ServingResult(200, page, etag=etag, cache=cache_state)
 
     def _compute(self, request: QueryRequest) -> dict[str, Any]:

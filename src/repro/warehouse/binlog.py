@@ -22,10 +22,10 @@ from __future__ import annotations
 import enum
 import hashlib
 import json
-import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
 
+from ..analysis.sanitizer import create_lock
 from .errors import BinlogError
 
 
@@ -98,7 +98,7 @@ class Binlog:
         trace_provider: Callable[[], Any] | None = None,
     ) -> None:
         self._events: list[BinlogEvent] = []
-        self._lock = threading.Lock()
+        self._lock = create_lock("Binlog")  # guards: _events
         #: telemetry hook — must be cheap and non-raising; invoked outside
         #: the log lock so a slow observer cannot stall replication tails
         self._on_append = on_append

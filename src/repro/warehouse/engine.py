@@ -18,11 +18,11 @@ from __future__ import annotations
 
 import hashlib
 import json
-import threading
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from ..analysis.sanitizer import create_lock
 from .binlog import Binlog, BinlogEvent, EventType
 from .errors import (
     DuplicateObjectError,
@@ -388,13 +388,19 @@ class Schema:
                 ("schema",),
             ).labels(schema=name)
         self.binlog = Binlog(on_append=on_append, trace_provider=trace_provider)
-        self._lock = threading.RLock()
+        self._lock = create_lock(f"Schema:{name}", rlock=True)  # guards: _tables, _data_version
 
     def _log(self, etype: EventType, table: str, data: dict[str, Any]) -> BinlogEvent:
         return self.binlog.append(etype, table, data)
 
     def _bump_data_version(self) -> None:
-        self._data_version += 1
+        # += on an int is read-modify-write: concurrent table mutators
+        # (nightly ingest overlapping a replication tail) could lose
+        # bumps and leave the serving cache thinking it is fresh.  The
+        # RLock keeps the re-entrant call from create_table/drop_table
+        # (which already hold it) cheap and safe.
+        with self._lock:
+            self._data_version += 1
 
     @property
     def data_version(self) -> int:

@@ -103,3 +103,26 @@ def build_two_site_federation(*, mode_b: str = "tight"):
 @pytest.fixture()
 def federation():
     return build_two_site_federation()
+
+
+@pytest.fixture()
+def lock_sanitizer():
+    """Activate the runtime lock sanitizer for one test.
+
+    Every lock constructed through ``create_lock`` while the fixture is
+    live becomes a :class:`~repro.analysis.sanitizer.SanitizedLock`; the
+    teardown fails the test on any observed lock-order inversion, so a
+    test only has to *exercise* a code path to gate it.
+    """
+    from repro.analysis import sanitizer
+
+    monitor = sanitizer.activate(sanitizer.LockMonitor())
+    try:
+        yield monitor
+    finally:
+        sanitizer.deactivate()
+    if monitor.inversions:
+        pytest.fail(
+            "lock-order inversion detected by the runtime sanitizer:\n"
+            + monitor.report()
+        )

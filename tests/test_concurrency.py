@@ -1,0 +1,414 @@
+"""Runtime lock sanitizer + real-thread regression tests for the races
+fixed in the concurrency pass.
+
+The acceptance scenario lives in :class:`TestSanitizerDetectsInversions`:
+a deliberately-inverted two-lock sequence is caught by ``SanitizedLock``
+(without needing an actual deadlock), and the same sequence reordered is
+clean — proving the sanitizer detects real inversions at test time.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.analysis import sanitizer
+from repro.analysis.sanitizer import LockMonitor, SanitizedLock
+from repro.warehouse import ColumnType, Database, TableSchema, make_columns
+
+C = ColumnType
+
+
+def run_threads(workers, n=None):
+    """Start, join, and re-raise the first worker exception."""
+    errors = []
+
+    def wrap(fn):
+        def inner():
+            try:
+                fn()
+            except BaseException as exc:  # propagated to the test thread
+                errors.append(exc)
+
+        return inner
+
+    threads = [threading.Thread(target=wrap(fn)) for fn in workers]
+    old = sys.getswitchinterval()
+    sys.setswitchinterval(1e-5)  # force frequent preemption
+    try:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    finally:
+        sys.setswitchinterval(old)
+    if errors:
+        raise errors[0]
+
+
+# -- sanitizer unit behavior --------------------------------------------------
+
+
+class TestSanitizerDetectsInversions:
+    def test_inverted_two_lock_order_is_caught(self):
+        monitor = LockMonitor()
+        a = SanitizedLock("A", monitor)
+        b = SanitizedLock("B", monitor)
+        with a:
+            with b:
+                pass
+        with b:  # deliberate inversion: B then A after A then B
+            with a:
+                pass
+        assert len(monitor.inversions) == 1
+        inv = monitor.inversions[0]
+        assert {inv.first, inv.second} == {"A", "B"}
+        assert "inversion" in monitor.report()
+
+    def test_same_sequence_reordered_is_clean(self):
+        monitor = LockMonitor()
+        a = SanitizedLock("A", monitor)
+        b = SanitizedLock("B", monitor)
+        for _ in range(2):  # consistent A-then-B order every time
+            with a:
+                with b:
+                    pass
+        assert monitor.inversions == ()
+
+    def test_fixture_style_gate_fails_on_inversion(self):
+        # what the lock_sanitizer fixture does at teardown
+        monitor = LockMonitor()
+        a = SanitizedLock("A", monitor)
+        b = SanitizedLock("B", monitor)
+        with a, b:
+            pass
+        with b, a:
+            pass
+        with pytest.raises(pytest.fail.Exception):
+            _fail_on_inversions(monitor)
+
+    def test_cross_thread_inversion_detected(self):
+        # The order graph is global across threads: thread 1 takes A->B,
+        # thread 2 later takes B->A.  The orders are sequenced with an
+        # event so the inversion is *detected* without ever *deadlocking*
+        # — which is the point of the sanitizer: single overlapping
+        # schedules are not required to prove the hazard.
+        monitor = LockMonitor()
+        a = SanitizedLock("A", monitor)
+        b = SanitizedLock("B", monitor)
+        first_done = threading.Event()
+
+        def t1():
+            with a:
+                with b:
+                    pass
+            first_done.set()
+
+        def t2():
+            first_done.wait(timeout=5.0)
+            with b:
+                with a:
+                    pass
+
+        run_threads([t1, t2])
+        assert len(monitor.inversions) == 1
+        inv = monitor.inversions[0]
+        assert inv.site.thread_name != inv.prior_site.thread_name
+
+    def test_reentrant_rlock_is_not_an_inversion(self):
+        monitor = LockMonitor()
+        r = SanitizedLock("R", monitor, rlock=True)
+        with r:
+            with r:
+                pass
+        assert monitor.inversions == ()
+        assert monitor.edges() == {}
+
+    def test_long_hold_recorded_with_fake_clock(self):
+        t = [0.0]
+        monitor = LockMonitor(long_hold_s=0.05, clock=lambda: t[0])
+        lock = SanitizedLock("L", monitor, rlock=False)
+        lock.acquire()
+        t[0] = 0.2
+        lock.release()
+        assert len(monitor.long_holds) == 1
+        hold = monitor.long_holds[0]
+        assert hold.lock_name == "L"
+        assert hold.held_s == pytest.approx(0.2)
+
+    def test_short_hold_not_recorded(self):
+        t = [0.0]
+        monitor = LockMonitor(long_hold_s=0.05, clock=lambda: t[0])
+        lock = SanitizedLock("L", monitor)
+        with lock:
+            t[0] = 0.01
+        assert monitor.long_holds == ()
+
+    def test_metrics_binding_exports_sanitizer_series(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        t = [0.0]
+        monitor = LockMonitor(long_hold_s=0.05, clock=lambda: t[0])
+        monitor.bind_metrics(registry)
+        a = SanitizedLock("A", monitor)
+        b = SanitizedLock("B", monitor)
+        with a, b:
+            pass
+        with b:
+            t[0] = 0.2
+            with a:
+                pass
+        text = registry.render_prometheus()
+        assert 'sanitizer_lock_inversions_total{first="B",second="A"} 1' in text
+        assert "sanitizer_long_holds_total" in text
+        assert "sanitizer_lock_hold_seconds" in text
+
+    def test_reset_clears_state(self):
+        monitor = LockMonitor()
+        a = SanitizedLock("A", monitor)
+        b = SanitizedLock("B", monitor)
+        with a, b:
+            pass
+        with b, a:
+            pass
+        monitor.reset()
+        assert monitor.inversions == ()
+        assert monitor.edges() == {}
+
+
+@pytest.fixture()
+def _sanitizer_state_restored():
+    """Save/restore the global monitor so these tests hold under both a
+    bare run and ``REPRO_LOCK_SANITIZER=1`` (which activates at import,
+    as CI's sanitizer-enabled pass does)."""
+    prior = sanitizer.current_monitor()
+    try:
+        yield
+    finally:
+        sanitizer.deactivate()
+        if prior is not None:
+            sanitizer.activate(prior)
+
+
+class TestCreateLock:
+    def test_plain_lock_when_inactive(self, _sanitizer_state_restored):
+        sanitizer.deactivate()
+        assert sanitizer.current_monitor() is None
+        lock = sanitizer.create_lock("X")
+        assert not isinstance(lock, SanitizedLock)
+        # duck-compatible with threading.Lock
+        with lock:
+            pass
+
+    def test_rlock_when_inactive_is_reentrant(self, _sanitizer_state_restored):
+        sanitizer.deactivate()
+        lock = sanitizer.create_lock("X", rlock=True)
+        with lock:
+            with lock:
+                pass
+
+    def test_sanitized_when_active(self, _sanitizer_state_restored):
+        sanitizer.deactivate()
+        monitor = sanitizer.activate()
+        lock = sanitizer.create_lock("X")
+        assert isinstance(lock, SanitizedLock)
+        assert sanitizer.enabled()
+        assert sanitizer.current_monitor() is monitor
+        sanitizer.deactivate()
+        assert not sanitizer.enabled()
+
+    def test_production_locks_instrumented_under_fixture(self, lock_sanitizer):
+        # with the fixture active, warehouse locks are SanitizedLock and
+        # ordinary single-lock use records hold times, not inversions
+        db = Database()
+        schema = db.create_schema("modw")
+        assert isinstance(schema._lock, SanitizedLock)
+        schema.create_table(_table_schema("jobs"))
+        assert lock_sanitizer.inversions == ()
+
+
+# -- regression: the three fixed races, with real threads ---------------------
+
+
+def _table_schema(name: str) -> TableSchema:
+    return TableSchema(
+        name,
+        make_columns([
+            ("id", C.INT, False),
+            ("val", C.FLOAT),
+        ]),
+        primary_key=("id",),
+    )
+
+
+class TestSchemaDataVersionRace:
+    def test_concurrent_mutators_never_lose_a_bump(self):
+        """Regression: ``Schema._bump_data_version`` was an unlocked
+        ``+= 1``; concurrent table writers lost bumps, so the serving
+        cache could treat changed data as fresh.  Each thread writes its
+        own table — the schema-level version counter is the only shared
+        state."""
+        db = Database()
+        schema = db.create_schema("modw")
+        n_threads, n_rows = 8, 200
+        tables = [
+            schema.create_table(_table_schema(f"t{i}")) for i in range(n_threads)
+        ]
+        start_version = schema.data_version
+
+        def writer(table):
+            def run():
+                for i in range(n_rows):
+                    table.insert({"id": i, "val": float(i)})
+
+            return run
+
+        run_threads([writer(t) for t in tables])
+        assert schema.data_version - start_version == n_threads * n_rows
+
+    def test_create_table_still_bumps_reentrantly(self):
+        db = Database()
+        schema = db.create_schema("modw")
+        before = schema.data_version
+        schema.create_table(_table_schema("jobs"))
+        assert schema.data_version > before
+
+
+class TestCacheEntryPagesRace:
+    def test_concurrent_page_memoization_respects_bound(self):
+        """Regression: ``respond()`` checked ``len(entry.pages) < cap``
+        and inserted without a lock; concurrent clients with distinct
+        windows could blow past the bound and race the dict."""
+        from repro.ui.serving import MAX_PAGES_PER_ENTRY, _CacheEntry
+
+        entry = _CacheEntry({"rows": []}, versions=(1,))
+        n_threads, n_keys = 8, 64
+
+        def worker(seed):
+            def run():
+                for k in range(n_keys):
+                    key = ((seed * n_keys + k) % 97, 10)
+                    memo = entry.get_page(key)
+                    if memo is None:
+                        entry.memo_page(key, {"page": key}, f"etag-{key}")
+
+            return run
+
+        run_threads([worker(s) for s in range(n_threads)])
+        assert len(entry.pages) <= MAX_PAGES_PER_ENTRY
+
+    def test_memoized_window_round_trips(self):
+        from repro.ui.serving import _CacheEntry
+
+        entry = _CacheEntry({"rows": []}, versions=(1,))
+        entry.memo_page((0, 10), {"page": 1}, "etag-1")
+        assert entry.get_page((0, 10)) == ({"page": 1}, "etag-1")
+        assert entry.get_page((10, 10)) is None
+
+
+class TestSessionTableRace:
+    def test_concurrent_expired_token_checks_do_not_500(self):
+        """Regression: two requests presenting the same expired token
+        both reached ``del self._sessions[token]``; the loser raised
+        KeyError, which surfaced as a 500."""
+        from repro.auth.accounts import Session
+        from repro.ui.rest import XdmodApi
+
+        api = XdmodApi({}, {}, require_auth=True)
+        now = time.time()
+        expired = Session(
+            token="tok-expired",
+            username="u",
+            instance="i",
+            method="local",
+            issued_at=now - 100.0,
+            expires_at=now - 1.0,
+            capabilities=frozenset(),
+        )
+        api._sessions[expired.token] = expired
+        headers = {"Authorization": "Bearer tok-expired"}
+
+        results = []
+
+        def check():
+            # pre-fix this raised KeyError on the losing thread
+            results.append(api._authorized(headers))
+
+        run_threads([check] * 8)
+        assert results == [False] * 8
+        assert "tok-expired" not in api._sessions
+
+    def test_register_evicts_expired_and_keeps_live(self):
+        from repro.auth.accounts import Session
+        from repro.ui.rest import XdmodApi
+
+        api = XdmodApi({}, {}, require_auth=True)
+        now = time.time()
+
+        def session(token, expires):
+            return Session(
+                token=token,
+                username="u",
+                instance="i",
+                method="local",
+                issued_at=now - 100.0,
+                expires_at=expires,
+                capabilities=frozenset(),
+            )
+
+        api._sessions["old"] = session("old", now - 1.0)
+        api.register_session(session("new", now + 100.0))
+        assert "old" not in api._sessions
+        assert "new" in api._sessions
+        assert api._authorized({"Authorization": "Bearer new"})
+
+
+# -- production lock discipline under the sanitizer ---------------------------
+
+
+class TestProductionPathsUnderSanitizer:
+    def test_ingest_and_serve_cycle_has_no_inversions(self, lock_sanitizer):
+        """Drive warehouse writes and cache traffic with the sanitizer
+        active; the teardown gate fails the test on any inversion."""
+        from repro.ui.serving import QueryCache
+
+        db = Database()
+        schema = db.create_schema("modw")
+        table = schema.create_table(_table_schema("jobs"))
+        cache = QueryCache(max_entries=4)
+
+        def writer():
+            for i in range(50):
+                table.insert({"id": i, "val": float(i)})
+
+        def reader():
+            for i in range(50):
+                key = ("q", i % 8)
+                versions = (schema.data_version,)
+                entry, state = cache.lookup(key, versions)
+                if entry is None:
+                    cache.store(key, versions, {"i": i})
+
+        run_threads([writer, reader])
+        assert lock_sanitizer.inversions == ()
+
+    def test_report_mentions_edge_counts(self):
+        monitor = LockMonitor()
+        a = SanitizedLock("A", monitor)
+        b = SanitizedLock("B", monitor)
+        with a, b:
+            pass
+        assert "1 order edge(s)" in monitor.report()
+
+
+def _fail_on_inversions(monitor: LockMonitor) -> None:
+    """Shared with the ``lock_sanitizer`` fixture teardown."""
+    if monitor.inversions:
+        pytest.fail(
+            "lock-order inversion detected by the runtime sanitizer:\n"
+            + monitor.report()
+        )

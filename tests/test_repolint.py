@@ -740,8 +740,15 @@ class TestCli:
             "nullable-truthiness", "mutation-without-version-bump",
             "nondeterminism-in-replication", "unknown-column-literal",
             "overbroad-except", "unregistered-metric-name",
+            "unguarded-shared-mutation", "blocking-call-under-lock",
+            "lock-order-inversion",
         ):
             assert rule_id in text
+        # project-wide rules are marked as such in the listing
+        assert any(
+            "lock-order-inversion" in line and "[project-wide]" in line
+            for line in text.splitlines()
+        )
 
     def test_unknown_rule_id_is_usage_error(self):
         assert run_lint(_parse(["--rule", "no-such-rule", "src"])) == 2
@@ -787,6 +794,156 @@ class TestCli:
 
         args = build_parser().parse_args(["lint", "--list-rules"])
         assert args.func(args) == 0
+
+    def test_concurrency_rule_selectable_by_id(self, tmp_path):
+        bad = tmp_path / "repro" / "ui" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(textwrap.dedent(
+            """
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()  # guards: _n
+                    self._n = 0
+                def bump(self):
+                    self._n += 1
+            """
+        ))
+        out = io.StringIO()
+        args = _parse([
+            str(bad), "--no-baseline", "--rule", "unguarded-shared-mutation",
+        ])
+        assert run_lint(args, out=out) == 1
+        assert "unguarded-shared-mutation" in out.getvalue()
+
+    def test_clean_run_summary_distinguishes_baselined(self, tmp_path):
+        bad = tmp_path / "repro" / "etl" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text('def f(row):\n    return row["soft_quota_gb"] or 0.0\n')
+        clean = tmp_path / "repro" / "etl" / "clean.py"
+        clean.write_text("x = 1\n")
+        baseline = str(tmp_path / "baseline.json")
+
+        # genuinely clean file: explicit "clean" wording
+        out = io.StringIO()
+        args = _parse([str(clean), "--baseline", baseline])
+        assert run_lint(args, out=out) == 0
+        assert "clean (no findings)" in out.getvalue()
+
+        # baselined finding: exits 0 but is NOT reported as clean
+        args = _parse([str(bad), "--baseline", baseline, "--write-baseline"])
+        assert run_lint(args, out=io.StringIO()) == 0
+        out = io.StringIO()
+        args = _parse([str(bad), "--baseline", baseline])
+        assert run_lint(args, out=out) == 0
+        text = out.getvalue()
+        assert "clean" not in text
+        assert "0 new violation(s), 1 baselined" in text
+
+    def test_internal_error_exits_2(self, tmp_path, monkeypatch):
+        target = tmp_path / "repro" / "x.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("x = 1\n")
+
+        from repro.analysis.engine import LintEngine
+
+        def boom(self, paths, jobs=1):
+            raise RuntimeError("injected engine crash")
+
+        monkeypatch.setattr(LintEngine, "lint_paths", boom)
+        assert run_lint(_parse([str(target)]), out=io.StringIO()) == 2
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        missing = str(tmp_path / "nope" / "missing.py")
+        args = _parse([missing, "--no-baseline"])
+        # os.walk silently yields nothing for missing dirs; a missing
+        # *file* path surfaces as OSError -> exit 2
+        out = io.StringIO()
+        code = run_lint(args, out=out)
+        assert code in (0, 2)
+
+
+class TestParallelJobs:
+    def test_jobs_output_identical_to_sequential(self, tmp_path):
+        # several files with known findings: parallel run must produce
+        # byte-identical output (same findings, same order)
+        pkg = tmp_path / "repro" / "etl"
+        pkg.mkdir(parents=True)
+        for i in range(6):
+            (pkg / f"mod{i}.py").write_text(
+                f'def f{i}(row):\n    return row["soft_quota_gb"] or {i}.0\n'
+            )
+        argv = [str(tmp_path / "repro"), "--no-baseline"]
+
+        seq_out, par_out = io.StringIO(), io.StringIO()
+        assert run_lint(_parse(argv), out=seq_out) == 1
+        assert run_lint(_parse(argv + ["--jobs", "3"]), out=par_out) == 1
+        assert seq_out.getvalue() == par_out.getvalue()
+        assert "nullable-truthiness" in seq_out.getvalue()
+
+    def test_jobs_runs_project_rules(self, tmp_path):
+        pkg = tmp_path / "repro" / "ui"
+        pkg.mkdir(parents=True)
+        (pkg / "alpha.py").write_text(textwrap.dedent(
+            """
+            import threading
+            class Alpha:
+                def __init__(self):
+                    self._alock = threading.Lock()
+                def ab(self, b: Beta):
+                    with self._alock:
+                        with b._block:
+                            pass
+            """
+        ))
+        (pkg / "beta.py").write_text(textwrap.dedent(
+            """
+            import threading
+            class Beta:
+                def __init__(self):
+                    self._block = threading.Lock()
+                def ba(self, a: Alpha):
+                    with self._block:
+                        with a._alock:
+                            pass
+            """
+        ))
+        out = io.StringIO()
+        argv = [str(tmp_path / "repro"), "--no-baseline", "--jobs", "2"]
+        assert run_lint(_parse(argv), out=out) == 1
+        assert "lock-order-inversion" in out.getvalue()
+
+    def test_jobs_zero_means_cpu_count(self, tmp_path):
+        target = tmp_path / "repro" / "x.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("x = 1\n")
+        out = io.StringIO()
+        assert run_lint(
+            _parse([str(target), "--no-baseline", "--jobs", "0"]), out=out
+        ) == 0
+
+
+class TestRuleCatalogParity:
+    def test_every_rule_documented_in_static_analysis_md(self):
+        from repro.analysis import ALL_FILE_RULES
+        from repro.analysis.concurrency import ALL_PROJECT_RULES
+
+        doc = open(
+            os.path.join(REPO_ROOT, "docs", "static-analysis.md"),
+            encoding="utf-8",
+        ).read()
+        for rule in (*ALL_FILE_RULES, *ALL_PROJECT_RULES):
+            assert rule.id in doc, (
+                f"rule {rule.id!r} missing from docs/static-analysis.md"
+            )
+
+    def test_file_rule_registry_includes_concurrency_rules(self):
+        from repro.analysis import ALL_FILE_RULES, ALL_RULES
+
+        ids = [rule.id for rule in ALL_FILE_RULES]
+        assert set(r.id for r in ALL_RULES) < set(ids)
+        assert "unguarded-shared-mutation" in ids
+        assert "blocking-call-under-lock" in ids
 
 
 # -- the gate: current tree is clean ------------------------------------------

@@ -21,7 +21,7 @@ from repro.aggregation import Aggregator
 from repro.timeutil import SECONDS_PER_HOUR, ts
 from repro.warehouse import Database
 
-from conftest import emit
+from conftest import emit, emit_metrics
 
 T0 = ts(2017, 1, 1)
 
@@ -172,6 +172,11 @@ def test_a10_columnar_vs_oracle_jobs(benchmark, n_jobs):
         f"  columnar fast path (after):  {columnar_s * 1e3:.1f} ms",
         f"  speedup: {speedup:.1f}x",
     ]))
+    emit_metrics(f"a10_columnar_jobs_{n_jobs}", {
+        "columnar_time": (columnar_s, "s"),
+        "oracle_time": (oracle_s, "s"),
+        "speedup": (speedup, "x"),
+    })
     assert columnar_rows == oracle_rows
     if n_jobs >= 100000:
         # acceptance bar: >= 3x over the oracle at 100k fact rows
@@ -200,6 +205,11 @@ def test_a10_columnar_vs_oracle_storage(benchmark, n_snaps):
         f"  columnar fast path (after):  {columnar_s * 1e3:.1f} ms",
         f"  speedup: {oracle_s / columnar_s:.1f}x",
     ]))
+    emit_metrics(f"a10_columnar_storage_{n_snaps}", {
+        "columnar_time": (columnar_s, "s"),
+        "oracle_time": (oracle_s, "s"),
+        "speedup": (oracle_s / columnar_s, "x"),
+    })
 
 
 @pytest.mark.parametrize("n_vms", [500, 10000])
@@ -224,6 +234,11 @@ def test_a10_columnar_vs_oracle_cloud(benchmark, n_vms):
         f"  columnar fast path (after):  {columnar_s * 1e3:.1f} ms",
         f"  speedup: {oracle_s / columnar_s:.1f}x",
     ]))
+    emit_metrics(f"a10_columnar_cloud_{n_vms}", {
+        "columnar_time": (columnar_s, "s"),
+        "oracle_time": (oracle_s, "s"),
+        "speedup": (oracle_s / columnar_s, "x"),
+    })
 
 
 def test_a10_incremental_identical_to_rebuild(benchmark):
@@ -272,3 +287,6 @@ def test_a10_incremental_identical_to_rebuild(benchmark):
         "  incremental storage+cloud fold == full rebuild: True",
         f"  steady-state no-op fold: {benchmark.stats.stats.mean * 1e3:.1f} ms",
     ]))
+    emit_metrics("a10_incremental_parity", {
+        "noop_fold_time": (benchmark.stats.stats.mean, "s"),
+    })

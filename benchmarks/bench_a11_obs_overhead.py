@@ -26,7 +26,7 @@ from repro.ui import XdmodApi
 from repro.warehouse import Database
 
 from bench_a10_columnar_agg import _jobs_schema
-from conftest import emit
+from conftest import emit, emit_metrics
 
 T0 = ts(2017, 1, 1)
 
@@ -101,6 +101,10 @@ def test_a11_aggregation_overhead(n_jobs):
         f"A11 telemetry overhead, jobs aggregation over {n_jobs} fact rows:",
         t_bare, t_instr,
     )))
+    emit_metrics(f"a11_obs_overhead_agg_{n_jobs}", {
+        "bare_time": (t_bare, "s"),
+        "instrumented_time": (t_instr, "s"),
+    })
     assert obs.registry.value(
         "aggregation_rows_total", realm="jobs", mode="full"
     ) > 0
@@ -133,6 +137,10 @@ def test_a11_replication_overhead(n_events):
         f"A11 telemetry overhead, tight replication of {n_events}+ events:",
         t_bare, t_instr,
     )))
+    emit_metrics(f"a11_obs_overhead_repl_{n_events}", {
+        "bare_time": (t_bare, "s"),
+        "instrumented_time": (t_instr, "s"),
+    })
     assert obs.registry.value(
         "replication_events_applied_total", channel="satellite"
     ) > 0
@@ -162,3 +170,6 @@ def test_a11_metrics_snapshot_artifact():
         "replication_events_applied_total", channel="satellite"
     ) > 0
     emit("a11_metrics_snapshot", text.rstrip("\n"))
+    emit_metrics("a11_metrics_snapshot", {
+        "snapshot_size": (float(len(body)), "bytes"),
+    })

@@ -25,7 +25,7 @@ from repro.core import FederationHub, XdmodInstance
 from repro.obs import AlertEngine, Observability
 from repro.timeutil import SECONDS_PER_HOUR, ts
 
-from conftest import emit
+from conftest import emit, emit_metrics
 
 T0 = ts(2017, 1, 1)
 
@@ -114,6 +114,10 @@ def test_a12_obs_plane_overhead(n_events):
         f"  overhead: {overhead:+.1f}% (budget {(BUDGET_REL - 1) * 100:.0f}%"
         f" + {BUDGET_ABS * 1e3:.0f} ms slack)",
     ]))
+    emit_metrics(f"a12_obs_plane_{n_events}", {
+        "baseline_time": (t_base, "s"),
+        "plane_time": (t_plane, "s"),
+    })
 
     obs = _run_sync_cycles(sat, plane=True)
     assert obs.history.last(
@@ -132,3 +136,6 @@ def test_a12_alert_report_artifact():
     firing = {s.rule.id for s in monitor.alerts.firing()}
     assert "sync_failure_burn_rate" in firing
     emit("a12_alert_report", report)
+    emit_metrics("a12_alert_report", {
+        "alerts_firing": (float(len(firing)), "alerts"),
+    })

@@ -34,7 +34,7 @@ from repro.realms import jobs_realm
 from repro.timeutil import ts
 from repro.ui import ApiServer, XdmodApi
 
-from conftest import emit
+from conftest import emit, emit_metrics
 
 T0 = ts(2017, 1, 1)
 
@@ -119,6 +119,11 @@ def test_a13_cache_speedup(scale, months, rounds, enforce):
         f"  p99 speedup: {speedup:.1f}x (budget >= {SPEEDUP_BUDGET:.0f}x)",
         f"  cache lookups: {hits:.0f} hits / {misses:.0f} misses",
     ]))
+    emit_metrics(f"a13_serving_speedup_{months}mo", {
+        "uncached_p99": (u99, "s"),
+        "warm_cache_p99": (w99, "s"),
+        "p99_speedup": (speedup, "x"),
+    })
     assert hits > 0 and misses == len(paths)
     if enforce:
         assert speedup >= SPEEDUP_BUDGET, (
@@ -211,5 +216,11 @@ def test_a13_concurrent_clients():
         f"{total * 1e3:.2f} ms total handler time"
     )
     emit("a13_serving_report", "\n".join(lines))
+    query_p50, query_p99 = _percentiles(by_route["/query"])
+    emit_metrics("a13_serving_report", {
+        "query_p50": (query_p50, "s"),
+        "query_p99": (query_p99, "s"),
+        "cache_hit_ratio": (hit_ratio, "ratio"),
+    })
     # 3 distinct read queries, hammered 8x40 times: nearly all lookups hit
     assert misses >= 3 and hit_ratio > 0.9

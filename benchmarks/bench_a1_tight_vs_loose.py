@@ -15,7 +15,7 @@ from repro.etl import ParsedJob, ingest_jobs
 from repro.timeutil import ts
 from repro.warehouse import Database
 
-from conftest import emit
+from conftest import emit, emit_metrics
 
 N_BASE = 2000
 N_DELTA = 100
@@ -67,6 +67,10 @@ def test_a1_tight_incremental_sync(benchmark, satellite):
         f"  events applied lifetime: {channel.stats.events_applied}",
         "  staleness between syncs: 0 events (live replication)",
     ]))
+    emit_metrics("a1_tight", {
+        "delta_sync_time": (benchmark.stats.stats.mean, "s"),
+        "events_applied": (float(channel.stats.events_applied), "events"),
+    })
 
 
 def test_a1_loose_reship(benchmark, satellite):
@@ -87,5 +91,9 @@ def test_a1_loose_reship(benchmark, satellite):
         "  => tight wins on freshness and on incremental cost; loose needs "
         "no binlog access (the paper's motivation for offering both)",
     ]))
+    emit_metrics("a1_loose", {
+        "reship_time": (benchmark.stats.stats.mean, "s"),
+        "rows_shipped": (float(rows), "rows"),
+    })
     assert staleness_before >= N_DELTA
     assert channel.staleness == 0

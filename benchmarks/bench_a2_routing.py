@@ -15,7 +15,7 @@ from repro.etl import ParsedJob, ingest_jobs
 from repro.timeutil import ts
 from repro.warehouse import Database
 
-from conftest import emit
+from conftest import emit, emit_metrics
 
 N_JOBS = 3000
 
@@ -70,6 +70,10 @@ def test_a2_routing_throughput(benchmark, source_schema, label, filter_factory):
         f"  hub fact_job rows: {fact_rows}; hub resources: {sorted(resources)}",
     ]
     emit(f"a2_routing_{label}", "\n".join(lines))
+    emit_metrics(f"a2_routing_{label}", {
+        "replication_time": (benchmark.stats.stats.mean, "s"),
+        "hub_fact_rows": (float(fact_rows), "rows"),
+    })
 
     if label == "unfiltered":
         assert fact_rows == N_JOBS

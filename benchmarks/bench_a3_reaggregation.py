@@ -22,7 +22,7 @@ from repro.etl import ParsedJob, ingest_jobs
 from repro.timeutil import ts
 from repro.warehouse import Database
 
-from conftest import emit
+from conftest import emit, emit_metrics
 
 
 def _schema_with_jobs(n: int):
@@ -78,4 +78,9 @@ def test_a3_reaggregation_scaling(benchmark, n_jobs):
         f"  pure-Python oracle: {oracle_s * 1e3:.1f} ms"
         f"  ({oracle_s / columnar_s:.1f}x slower)",
     ]))
+    emit_metrics(f"a3_reaggregation_{n_jobs}", {
+        "columnar_rebuild_time": (columnar_s, "s"),
+        "oracle_rebuild_time": (oracle_s, "s"),
+        "agg_rows_rebuilt": (float(built["agg_job_month"]), "rows"),
+    })
     assert total_after == pytest.approx(total_before)

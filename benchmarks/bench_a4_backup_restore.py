@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.core import regenerate_satellite, verify_regeneration
 from repro.etl import WAREHOUSE_SCHEMA
 
-from conftest import emit
+from conftest import emit, emit_metrics
 
 
 def test_a4_regenerate_satellite(benchmark, fig1_federation):
@@ -35,4 +35,8 @@ def test_a4_regenerate_satellite(benchmark, fig1_federation):
         f"  missing:          {list(report.missing)}",
         f"  fidelity: {'EXACT' if report.exact else 'PARTIAL'}",
     ]))
+    emit_metrics("a4_backup_restore", {
+        "regeneration_time": (benchmark.stats.stats.mean, "s"),
+        "jobs_restored": (float(n_jobs), "jobs"),
+    })
     assert report.exact

@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.core import IdentityMap, federated_user_counts
 from repro.realms import jobs_realm
 
-from conftest import emit
+from conftest import emit, emit_metrics
 
 
 def test_a5_identity_mapping(benchmark, fig1_federation):
@@ -50,5 +50,11 @@ def test_a5_identity_mapping(benchmark, fig1_federation):
         f"  'User' drill-down groups: {person_groups_unmapped} -> "
         f"{person_groups_mapped}",
     ]))
+    emit_metrics("a5_identity", {
+        "username_match_time": (benchmark.stats.stats.mean, "s"),
+        "duplicates_removed": (
+            float(unmapped["qualified"] - mapped["canonical"]), "identities"
+        ),
+    })
     assert mapped["canonical"] < unmapped["qualified"]
     assert person_groups_mapped == mapped["canonical"]

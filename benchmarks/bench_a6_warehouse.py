@@ -20,7 +20,7 @@ from repro.warehouse import (
     vector_group_sum,
 )
 
-from conftest import emit
+from conftest import emit, emit_metrics
 
 C = ColumnType
 
@@ -66,6 +66,9 @@ def test_a6_group_by_latency(benchmark, n_rows):
         f"A6 group-by over {n_rows} rows -> {len(rows)} groups; "
         f"top group total {rows[0]['total']:,.0f}",
     ]))
+    emit_metrics(f"a6_groupby_{n_rows}", {
+        "group_by_time": (benchmark.stats.stats.mean, "s"),
+    })
 
 
 @pytest.mark.parametrize("n_rows", [10000, 100000])
@@ -75,6 +78,9 @@ def test_a6_vectorized_group_sum(benchmark, n_rows):
 
     sums = benchmark(vector_group_sum, keys, values)
     assert len(sums) == 8
+    emit_metrics(f"a6_vector_group_sum_{n_rows}", {
+        "vector_group_sum_time": (benchmark.stats.stats.mean, "s"),
+    })
 
 
 def test_a6_index_point_lookup(benchmark):
@@ -82,3 +88,6 @@ def test_a6_index_point_lookup(benchmark):
 
     hits = benchmark(table.lookup_index, "resource", "r3")
     assert len(hits) == 50000 // 8
+    emit_metrics("a6_index_point_lookup", {
+        "index_lookup_time": (benchmark.stats.stats.mean, "s"),
+    })

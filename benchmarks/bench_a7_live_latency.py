@@ -16,7 +16,7 @@ from repro.core import FederationHub, LiveReplicator, XdmodInstance
 from repro.etl import ParsedJob, ingest_jobs
 from repro.timeutil import ts
 
-from conftest import emit
+from conftest import emit, emit_metrics
 
 
 def make_job(job_id):
@@ -73,3 +73,6 @@ def test_a7_commit_to_visibility_latency(benchmark, live_hub):
         "  measured latency is the benchmark's reported time per round "
         "(dominated by the daemon's 2 ms poll interval)",
     ]))
+    emit_metrics("a7_live_latency", {
+        "commit_to_visibility_time": (benchmark.stats.stats.mean, "s"),
+    })

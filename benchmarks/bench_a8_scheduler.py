@@ -21,7 +21,7 @@ from repro.simulators import (
 )
 from repro.timeutil import SECONDS_PER_HOUR, ts
 
-from conftest import emit
+from conftest import emit, emit_metrics
 
 RESOURCE = ResourceSpec("sweep", 16, 16, 64, 16.0)
 START, END = ts(2017, 1, 1), ts(2017, 3, 1)
@@ -57,5 +57,9 @@ def test_a8_wait_vs_utilization(benchmark, utilization):
         lines.append("")
         lines.append("expected shape: waits grow nonlinearly toward saturation")
         emit("a8_scheduler", "\n".join(lines))
+        emit_metrics("a8_scheduler", {
+            f"mean_wait_util_{int(util * 100)}": (_RESULTS[util][0], "h")
+            for util in sorted(_RESULTS)
+        })
         # the hockey stick: high-load waits dominate low-load waits
         assert _RESULTS[0.9][0] > _RESULTS[0.3][0]

@@ -30,7 +30,7 @@ from repro.etl import ParsedJob, ingest_jobs
 from repro.timeutil import ts
 from repro.warehouse import Database
 
-from conftest import emit
+from conftest import emit, emit_metrics
 
 N_BASE = 1000
 N_DELTA = 100
@@ -93,6 +93,10 @@ def test_a9_retry_absorbs_transient_faults(benchmark):
         f"  events applied:  {channel.stats.events_applied} "
         "(zero lag, zero quarantined — every fault absorbed in-line)",
     ]))
+    emit_metrics("a9_retry", {
+        "faulty_sync_time": (benchmark.stats.stats.mean, "s"),
+        "retries_spent": (float(channel.stats.retries), "retries"),
+    })
 
 
 def _dead_member_hub(name: str, breaker: CircuitBreaker) -> FederationHub:
@@ -126,6 +130,9 @@ def test_a9_sync_cycle_hammering_dead_member(benchmark):
         f"  apply failures accumulated: {stats.apply_failures}",
         f"  sync cycles:                {stats.syncs}",
     ]))
+    emit_metrics("a9_hammer", {
+        "sync_cycle_time": (benchmark.stats.stats.mean, "s"),
+    })
 
 
 def test_a9_sync_cycle_with_breaker_open(benchmark):
@@ -149,6 +156,9 @@ def test_a9_sync_cycle_with_breaker_open(benchmark):
         "(no further wasted work)",
         "  healthy member still syncs every cycle at full speed",
     ]))
+    emit_metrics("a9_breaker", {
+        "sync_cycle_time": (benchmark.stats.stats.mean, "s"),
+    })
 
 
 def test_a9_quarantine_throughput(benchmark):
@@ -190,3 +200,7 @@ def test_a9_quarantine_throughput(benchmark):
         f"  events quarantined:     {quarantined} (channel never wedged)",
         f"  replayed after heal:    {replayed} (dead-letter queue drained)",
     ]))
+    emit_metrics("a9_quarantine", {
+        "quarantining_sync_time": (benchmark.stats.stats.mean, "s"),
+        "events_quarantined": (float(quarantined), "events"),
+    })

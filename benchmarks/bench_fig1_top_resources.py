@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.realms import jobs_realm
 from repro.ui import ChartBuilder, render_table
 
-from conftest import emit
+from conftest import emit, emit_metrics
 
 
 def test_fig1_top_resources_by_xdsu(benchmark, fig1_federation):
@@ -38,6 +38,10 @@ def test_fig1_top_resources_by_xdsu(benchmark, fig1_federation):
     lines.append(f"paper shape: Comet > Stampede2 > Stampede; "
                  f"measured: {' > '.join(n for n, _ in ranking)}")
     emit("fig1_top_resources", "\n".join(lines))
+    emit_metrics("fig1_top_resources", {
+        "timeseries_query_time": (benchmark.stats.stats.mean, "s"),
+        "top_resource_xdsu": (ranking[0][1], "xdsu"),
+    })
 
     # shape assertions (the reproduction contract)
     assert [n for n, _ in ranking] == ["comet", "stampede2", "stampede"]

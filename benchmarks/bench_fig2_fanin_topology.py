@@ -18,7 +18,7 @@ from repro.simulators import (
 )
 from repro.timeutil import ts
 
-from conftest import emit
+from conftest import emit, emit_metrics
 
 START, END = ts(2017, 1, 1), ts(2017, 3, 1)
 
@@ -75,6 +75,10 @@ def test_fig2_fanin_join_and_sync(benchmark, capsys):
     lines.append(f"  hub schemas: {hub.database.schema_names()}")
     lines.append(f"  total events fanned in per build: {total_events}")
     emit("fig2_fanin_topology", "\n".join(lines))
+    emit_metrics("fig2_fanin_topology", {
+        "fanin_build_time": (benchmark.stats.stats.mean, "s"),
+        "events_fanned_in": (float(total_events), "events"),
+    })
 
     assert len(hub.members) == 3
     assert all(m.channel.lag == 0 for m in hub.members)

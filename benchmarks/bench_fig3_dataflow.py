@@ -19,7 +19,7 @@ from repro.simulators import (
 )
 from repro.timeutil import ts
 
-from conftest import emit
+from conftest import emit, emit_metrics
 
 START, END = ts(2017, 1, 1), ts(2017, 2, 1)
 
@@ -73,6 +73,10 @@ def test_fig3_ingest_replicate_aggregate(benchmark):
             f" / hub {check.hub_rows:>6} rows -> {status}"
         )
     emit("fig3_dataflow", "\n".join(lines))
+    emit_metrics("fig3_dataflow", {
+        "dataflow_time": (benchmark.stats.stats.mean, "s"),
+        "agg_rows": (float(agg_rows), "rows"),
+    })
 
     assert member_check.ok
     assert agg_rows > 0

@@ -19,7 +19,7 @@ from repro.auth import (
     make_provider,
 )
 
-from conftest import emit
+from conftest import emit, emit_metrics
 
 
 @pytest.fixture(scope="module")
@@ -40,6 +40,9 @@ def test_fig4_local_password_login(benchmark, instance):
 
     session = benchmark(manager.login_local, "user007", "password-007")
     assert session.method == "local"
+    emit_metrics("fig4_local_login", {
+        "local_login_time": (benchmark.stats.stats.mean, "s"),
+    })
 
 
 def test_fig4_sso_login(benchmark, instance):
@@ -65,4 +68,7 @@ def test_fig4_sso_login(benchmark, instance):
         "        SSO path is HMAC sign+verify.",
     ]
     emit("fig4_sso_auth", "\n".join(lines))
+    emit_metrics("fig4_sso_auth", {
+        "sso_round_trip_time": (benchmark.stats.stats.mean, "s"),
+    })
     assert local.capabilities == session.capabilities

@@ -12,7 +12,7 @@ import pytest
 
 from repro.auth import Account, Role, SsoManager, hub_as_identity_provider
 
-from conftest import emit
+from conftest import emit, emit_metrics
 
 
 @pytest.fixture(scope="module")
@@ -55,6 +55,9 @@ def test_fig5_federated_signon_fanout(benchmark, federation_auth):
         )
     lines.append("  hub IdP trusted by: instance_y, federated_hub")
     emit("fig5_federated_auth", "\n".join(lines))
+    emit_metrics("fig5_federated_auth", {
+        "federation_signon_time": (benchmark.stats.stats.mean, "s"),
+    })
 
     assert {s.instance for s in sessions} == {
         "instance_x", "instance_z", "instance_y", "federated_hub",

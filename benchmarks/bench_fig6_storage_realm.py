@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.realms import storage_realm
 from repro.ui import ChartBuilder, render_table
 
-from conftest import emit
+from conftest import emit, emit_metrics
 
 
 def test_fig6_storage_metrics_by_month(benchmark, heterogeneous_hub):
@@ -43,6 +43,10 @@ def test_fig6_storage_metrics_by_month(benchmark, heterogeneous_hub):
         f"physical usage x{usage_series[-1] / usage_series[0]:.2f}"
     )
     emit("fig6_storage_realm", "\n".join(lines))
+    emit_metrics("fig6_storage_realm", {
+        "storage_query_time": (benchmark.stats.stats.mean, "s"),
+        "file_count_growth": (file_series[-1] / file_series[0], "x"),
+    })
 
     assert len(file_series) == 12
     # growth shape (persistent storage dominates the totals)

@@ -13,7 +13,7 @@ from repro.aggregation import FIG7_VM_MEMORY_LEVELS
 from repro.realms import cloud_realm
 from repro.ui import ChartBuilder, render_table
 
-from conftest import emit
+from conftest import emit, emit_metrics
 
 
 def test_fig7_avg_core_hours_by_vm_memory(benchmark, heterogeneous_hub):
@@ -44,6 +44,9 @@ def test_fig7_avg_core_hours_by_vm_memory(benchmark, heterogeneous_hub):
     lines.append("")
     lines.append("paper shape: larger-memory VMs average more core hours")
     emit("fig7_cloud_realm", "\n".join(lines))
+    emit_metrics("fig7_cloud_realm", {
+        "cloud_query_time": (benchmark.stats.stats.mean, "s"),
+    })
 
     # all four bins present, series are monthly
     assert set(chart.labels) == set(FIG7_VM_MEMORY_LEVELS.labels)

@@ -28,7 +28,7 @@ from repro.simulators import (
 )
 from repro.timeutil import SECONDS_PER_HOUR, ts
 
-from conftest import emit
+from conftest import emit, emit_metrics
 
 START, END = ts(2017, 1, 1), ts(2017, 3, 1)
 
@@ -117,6 +117,10 @@ def test_table1_aggregation_levels(benchmark):
     lines.append(f"satellite job total {total_sat}, hub job total "
                  f"{total_hub} -> no data lost or changed")
     emit("table1_agg_levels", "\n".join(lines))
+    emit_metrics("table1_agg_levels", {
+        "hub_reaggregation_time": (benchmark.stats.stats.mean, "s"),
+        "hub_jobs_total": (float(total_hub), "jobs"),
+    })
 
     # Table I contract: each party bins under its own configured levels
     assert set(counts_a) <= set(TABLE1_INSTANCE_A.labels) | {"outside"}

@@ -17,6 +17,8 @@ and mirrors them to ``benchmarks/out/<name>.txt`` so the regenerated
 
 from __future__ import annotations
 
+import json
+import subprocess
 from pathlib import Path
 
 import pytest
@@ -52,6 +54,39 @@ def emit(name: str, text: str) -> None:
     print(text)
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def _commit_hash() -> str:
+    """Short hash of HEAD, or "unknown" outside a usable git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def emit_metrics(bench_id: str, metrics: dict[str, tuple[float, str]]) -> Path:
+    """Persist a bench's headline numbers as ``out/BENCH_<id>.json``.
+
+    ``metrics`` maps metric name to ``(value, unit)``.  The JSON carries
+    the commit hash so CI artifacts from different runs are comparable;
+    it is the machine-readable companion of the human ``emit`` text.
+    """
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"BENCH_{bench_id}.json"
+    path.write_text(json.dumps({
+        "bench": bench_id,
+        "commit": _commit_hash(),
+        "metrics": [
+            {"name": name, "value": value, "unit": unit}
+            for name, (value, unit) in sorted(metrics.items())
+        ],
+    }, indent=2) + "\n")
+    return path
 
 
 @pytest.fixture(scope="session")

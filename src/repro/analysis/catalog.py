@@ -115,6 +115,7 @@ def build_default_catalog() -> SchemaCatalog:
         storage_seen_user_schema,
         storage_state_schema,
     )
+    from ..analytics.summarize import analytics_fact_schema
     from ..appkernels.kernels import appkernel_table_schema
     from ..etl.cloudevents import cloud_fact_schemas
     from ..etl.perfingest import perf_fact_schema, timeseries_schema
@@ -133,6 +134,7 @@ def build_default_catalog() -> SchemaCatalog:
     catalog.add(storage_fact_schema())
     catalog.add(perf_fact_schema())
     catalog.add(timeseries_schema())
+    catalog.add(analytics_fact_schema())
     catalog.add(marker_schema())
     catalog.add(appkernel_table_schema())
     for period in CATALOG_PERIODS:

@@ -641,7 +641,7 @@ class MetricNameRule(Rule):
     #: mirrors ``repro.obs.metrics.METRIC_NAME_PATTERN`` — duplicated here
     #: (not imported) so the typed analysis package stays self-contained;
     #: a test asserts the two patterns are identical
-    NAME_RE = re.compile(r"^[a-z][a-z0-9_]*_(total|seconds|bytes|rows)$")
+    NAME_RE = re.compile(r"^[a-z][a-z0-9_]*_(total|seconds|bytes|rows|ratio)$")
 
     #: registry factory methods whose first argument is the metric name
     REGISTRY_METHODS = frozenset({"counter", "gauge", "histogram"})
@@ -666,7 +666,7 @@ class MetricNameRule(Rule):
                     ctx, first,
                     f"metric name {first.value!r} violates the naming "
                     "convention: snake_case plus a unit suffix "
-                    "(`_total`, `_seconds`, `_bytes`, `_rows`)",
+                    "(`_total`, `_seconds`, `_bytes`, `_rows`, `_ratio`)",
                 )
 
 
@@ -684,6 +684,7 @@ class AlertRuleIdRule(Rule):
     #: duplicated here (not imported) so the typed analysis package stays
     #: self-contained; a test asserts the two sets are identical
     RULE_IDS = frozenset({
+        "analytics_anomaly_rate_high",
         "api_error_ratio_high",
         "circuit_breaker_flap",
         "dead_letter_growth",

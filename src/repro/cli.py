@@ -14,6 +14,7 @@ equivalents for this reproduction:
 - ``snapshot``  — save/restore a demo instance database to a directory
 - ``lint``      — schema-aware static analysis (repolint) over the tree
 - ``obs``       — dump telemetry: Prometheus metrics, slow spans, traces
+- ``analytics`` — SUPReMM-style job summarization and anomaly detection
 """
 
 from __future__ import annotations
@@ -393,6 +394,114 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _demo_analytics_federation(
+    *, inject_pathological: bool = False, days: int = 14,
+    max_jobs: int | None = 80,
+):
+    """Two-site federation with job performance data and analytics.
+
+    Each satellite ingests accounting plus per-job performance
+    timeseries, runs the summarization stage locally, and replicates its
+    ``fact_job_analytics`` rows to the hub through the SUPReMM summary
+    filter (raw series stay home).  With ``inject_pathological`` the
+    first site's first two jobs are rewritten into an idle-tail job and
+    a cache-thrashing job, so the hub-side detector has real outliers to
+    flag.  Everything runs under auto-advancing fake clocks, so the
+    whole build — scores, baselines, anomalies, rendered panel — is
+    deterministic.
+    """
+    from .analytics import AnalyticsPlane, summarize_schema
+    from .core import FederationHub, FederationMonitor, XdmodInstance
+    from .core.replicator import supremm_summary_filter
+    from .obs import FakeClock, Observability
+    from .simulators import (
+        WorkloadGenerator,
+        ccr_like_site,
+        generate_performance_batch,
+        inject_cache_thrash,
+        inject_idle_tail,
+        simulate_resource,
+        to_sacct_log,
+    )
+    from .timeutil import ts
+
+    def bundle(name: str) -> Observability:
+        return Observability(
+            clock=FakeClock(auto_advance=0.001), name=name
+        )
+
+    hub = FederationHub("hub", obs=bundle("hub"))
+    start, end = ts(2017, 1, 1), ts(2017, 1, 1 + days)
+    satellites = []
+    pathological: list[tuple[str, int]] = []
+    for i in range(2):
+        name = f"site{i}"
+        instance = XdmodInstance(name, obs=bundle(name))
+        site = ccr_like_site(scale=0.05, seed=30 + i)
+        records = simulate_resource(
+            site.resource, WorkloadGenerator(site.workload).generate(start, end)
+        )
+        instance.pipeline.ingest_sacct(
+            to_sacct_log(records), default_resource=site.name
+        )
+        perfs = generate_performance_batch(
+            records, site.resource, max_jobs=max_jobs
+        )
+        if inject_pathological and i == 0 and len(perfs) >= 2:
+            perfs[0] = inject_idle_tail(perfs[0])
+            perfs[1] = inject_cache_thrash(perfs[1])
+            pathological = [(name, perfs[0].job_id), (name, perfs[1].job_id)]
+        instance.pipeline.ingest_performance(perfs)
+        summarize_schema(instance.schema, obs=instance.obs, member=name)
+        hub.join(instance, mode="tight", filter=supremm_summary_filter())
+        satellites.append(instance)
+    plane = AnalyticsPlane(hub)
+    hub.add_post_aggregation_hook(plane.refresh)
+    monitor = FederationMonitor(hub, analytics=plane)
+    hub.sync()
+    hub.aggregate_federation(["month"])
+    monitor.evaluate_alerts()
+    return hub, satellites, plane, monitor, pathological
+
+
+def _cmd_analytics(args: argparse.Namespace) -> int:
+    """Job-level analytics over the demo federation.
+
+    Exit status mirrors ``obs``: 0 clean, 1 when the data says something
+    is wrong (no jobs summarized; anomalies flagged), 2 for operator
+    errors.
+    """
+    if args.top < 1:
+        print("--top must be >= 1", file=sys.stderr)
+        return 2
+    _, _, plane, monitor, _ = _demo_analytics_federation(
+        inject_pathological=args.inject_pathological
+    )
+    if args.action == "summarize":
+        if not plane.last_scores:
+            print("no jobs summarized", file=sys.stderr)
+            return 1
+        print(f"{len(plane.last_scores)} jobs summarized "
+              f"(least efficient first):")
+        for job in plane.worst_jobs(args.top):
+            tags = f" [{','.join(job.tags)}]" if job.tags else ""
+            print(f"  {job.member}/{job.resource}#{job.job_id} "
+                  f"{job.application:<16} {job.score:.3f}{tags}")
+        return 0
+    # anomalies
+    print(monitor.render())
+    if plane.anomalies:
+        print(f"{len(plane.anomalies)} anomalous job(s):", file=sys.stderr)
+        for anomaly in plane.anomalies:
+            print(f"  {anomaly.job.member}#{anomaly.job.job_id} "
+                  f"{anomaly.job.application} kind={anomaly.kind} "
+                  f"score={anomaly.job.score:.3f} "
+                  f"baseline={anomaly.baseline:.3f} z={anomaly.zscore:.1f}",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="xdmod-repro",
@@ -481,6 +590,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with alerts: make the tight member fail so the "
                         "burn-rate rules fire (demo/CI artifact)")
     p.set_defaults(func=_cmd_obs)
+
+    p = sub.add_parser(
+        "analytics",
+        help="job-level analytics on a demo federation",
+    )
+    p.add_argument(
+        "action", choices=["summarize", "anomalies"],
+        help="summarize: rank jobs by efficiency score; "
+             "anomalies: run the hub-side detector and print the panel",
+    )
+    p.add_argument("--top", type=int, default=10,
+                   help="rows in the worst-jobs listing")
+    p.add_argument("--inject-pathological", action="store_true",
+                   help="rewrite two site0 jobs into idle-tail and "
+                        "cache-thrash pathologies (demo/CI artifact)")
+    p.set_defaults(func=_cmd_analytics)
     return parser
 
 

@@ -102,10 +102,14 @@ class FederationMonitor:
         *,
         obs: Observability | None = None,
         alert_rules: tuple[AlertRule, ...] = DEFAULT_ALERT_RULES,
+        analytics=None,
     ) -> None:
         self.hub = hub
         self.obs = obs if obs is not None else hub.obs
         self.alerts = AlertEngine(self.obs.history, alert_rules)
+        # duck-typed AnalyticsPlane (repro.analytics) — kept untyped so the
+        # core monitor never imports the analytics package
+        self.analytics = analytics
 
     def evaluate_alerts(self):
         """Run the SLO rule catalog over every current member.
@@ -235,6 +239,28 @@ class FederationMonitor:
             if spark:
                 lines.append("history (oldest -> newest):")
                 lines.extend(spark)
+        plane = self.analytics
+        if plane is not None and plane.last_scores:
+            scores = sorted(job.score for job in plane.last_scores)
+            lines.append(
+                f"efficiency scores (n={len(scores)}, worst -> best): "
+                f"{render_sparkline(scores)}"
+            )
+            lines.append(
+                "least efficient jobs: " + ", ".join(
+                    f"{job.member}/{job.resource}#{job.job_id} "
+                    f"{job.application} {job.score:.2f}"
+                    + (f" [{','.join(job.tags)}]" if job.tags else "")
+                    for job in plane.worst_jobs(3)
+                )
+            )
+            if plane.anomalies:
+                lines.append(
+                    f"anomalies open: {len(plane.anomalies)} (" + ", ".join(
+                        f"{a.job.member}#{a.job.job_id}:{a.kind}"
+                        for a in plane.anomalies
+                    ) + ")"
+                )
         if self.alerts.evaluations:
             firing = self.alerts.firing()
             lines.append(

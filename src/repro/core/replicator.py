@@ -42,7 +42,8 @@ USER_PROFILE_TABLES = ("users", "user_profiles", "sessions", "acls")
 
 #: Fact tables whose rows carry a ``resource_id`` subject to routing.
 RESOURCE_SCOPED_TABLES = (
-    "fact_job", "fact_job_perf", "fact_storage", "fact_vm", "fact_vm_interval",
+    "fact_job", "fact_job_perf", "fact_job_analytics", "fact_storage",
+    "fact_vm", "fact_vm_interval",
 )
 
 _NULL_CONTEXT = contextlib.nullcontext()
@@ -50,10 +51,13 @@ _NULL_CONTEXT = contextlib.nullcontext()
 
 def supremm_summary_filter(**kwargs) -> "ReplicationFilter":
     """The paper's planned next release (Section II-C5): replicate the
-    jobs realm *plus summarized* performance data (``fact_job_perf``),
-    still never the storage-intensive raw timeseries."""
+    jobs realm *plus summarized* performance data (``fact_job_perf`` and
+    the ``fact_job_analytics`` efficiency summaries), still never the
+    storage-intensive raw timeseries."""
     return ReplicationFilter(
-        tables=tuple(JOBS_REALM_TABLES) + ("fact_job_perf",), **kwargs
+        tables=tuple(JOBS_REALM_TABLES)
+        + ("fact_job_perf", "fact_job_analytics"),
+        **kwargs,
     )
 
 

@@ -19,6 +19,7 @@ from .alerts import (
     AlertState,
     alert_rule,
 )
+from .anomaly import Anomaly, AnomalyDetector, JobScore
 from .clock import Clock, FakeClock, MonotonicClock
 from .history import DEFAULT_RETENTION, MetricsHistory
 from .metrics import (
@@ -43,11 +44,14 @@ __all__ = [
     "AlertEngine",
     "AlertRule",
     "AlertState",
+    "Anomaly",
+    "AnomalyDetector",
     "Clock",
     "DEFAULT_ALERT_RULES",
     "FakeClock",
     "FederatedTraceAssembler",
     "GLOBAL_SCOPE",
+    "JobScore",
     "MetricError",
     "MetricsHistory",
     "MetricsRegistry",

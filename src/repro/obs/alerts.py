@@ -123,7 +123,10 @@ class AlertRule:
             den = history.increase(
                 self.denominator, self.window_s, at=at, **den_labels
             )
-            return value / den if den > 0 else 0.0
+            if den is None or den <= 0:
+                # no denominator activity in the window: ratio of 0
+                return 0.0
+            return (value or 0.0) / den
         return value
 
     def breaches(self, value: float | None) -> bool:
@@ -194,6 +197,17 @@ DEFAULT_ALERT_RULES: tuple[AlertRule, ...] = (
         for_count=1,
         severity="page",
         summary="no sync outcome recorded for the member recently",
+    ),
+    AlertRule(
+        id="analytics_anomaly_rate_high",
+        kind="burn_rate",
+        metric="analytics_anomalies_total",
+        op=">=",
+        threshold=1.0,
+        window_s=3600.0,
+        for_count=1,
+        severity="warn",
+        summary="job-level anomaly flagged for the member within the window",
     ),
     AlertRule(
         id="api_error_ratio_high",

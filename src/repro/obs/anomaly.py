@@ -1,0 +1,265 @@
+"""Job-level anomaly detection over the metrics-history TSDB.
+
+The summarization stage (:mod:`repro.analytics.summarize`) feeds one
+efficiency-score sample per job into the
+``analytics_job_efficiency_ratio`` history series, labelled by member and
+application.  :class:`AnomalyDetector` builds *per-application baselines*
+from those series — the median and a robust spread estimated from the
+interquartile range, both answered by
+:meth:`~repro.obs.history.MetricsHistory.quantile_over_time` — and flags
+jobs whose score sits far below their application's baseline (a robust
+z-score / MAD-style test: outliers cannot drag their own baseline, so a
+couple of pathological jobs stand out against dozens of nominal peers).
+
+Baselines pool samples across every member, which is the federation-wide
+payoff: a job that looks plausible against its own site's three GROMACS
+runs can still be an outlier against the federation's three hundred.
+
+Everything is clocked by the history's injectable clock, so detection
+under a :class:`~repro.obs.clock.FakeClock` is fully deterministic.
+Detected anomalies feed ``analytics_anomalies_total{member,kind}``
+(counted once per job) and the ``analytics_anomalies_open_rows`` gauge,
+which the shipped ``analytics_anomaly_rate_high`` SLO rule and
+``GET /health``'s ``anomalies_open`` field read back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .metrics import MetricsRegistry
+
+__all__ = ["Anomaly", "AnomalyDetector", "JobScore", "SCORE_SERIES"]
+
+#: The per-job efficiency-score series the summarizer records (one
+#: sample per job, labels ``member`` and ``app``).
+SCORE_SERIES = "analytics_job_efficiency_ratio"
+
+#: Tags that name a recognizable pathology, in classification order.
+_KIND_TAGS = ("memory-bound", "idle-tail", "io-heavy", "low-cpu")
+
+#: IQR -> standard-deviation conversion for a normal distribution.
+_IQR_TO_SIGMA = 1.349
+
+
+@dataclass(frozen=True)
+class JobScore:
+    """One job's federated analytics row, as the detector consumes it.
+
+    ``n_samples`` is the number of timeseries samples behind the score;
+    0 means unknown (scores built by hand), which the detector judges
+    normally.
+    """
+
+    member: str
+    resource: str
+    job_id: int
+    application: str
+    score: float
+    tags: tuple[str, ...] = ()
+    n_samples: int = 0
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One flagged job with the evidence behind the flag."""
+
+    job: JobScore
+    kind: str
+    baseline: float
+    sigma: float
+    zscore: float
+
+    def to_dict(self) -> dict:
+        return {
+            "member": self.job.member,
+            "resource": self.job.resource,
+            "job_id": self.job.job_id,
+            "application": self.job.application,
+            "score": self.job.score,
+            "kind": self.kind,
+            "baseline": self.baseline,
+            "sigma": self.sigma,
+            "zscore": self.zscore,
+        }
+
+
+def classify_kind(tags: Sequence[str]) -> str:
+    """Anomaly kind from the summary tags (first recognized pathology)."""
+    for tag in _KIND_TAGS:
+        if tag in tags:
+            return tag
+    return "low-efficiency"
+
+
+class AnomalyDetector:
+    """Robust per-application outlier detection over job scores.
+
+    Parameters
+    ----------
+    obs:
+        Observability bundle whose history holds the score series and
+        whose registry receives the anomaly metrics.
+    threshold:
+        Minimum robust z-score (baseline drop over sigma) to flag.
+    min_drop:
+        Minimum absolute score drop below the baseline to flag —
+        guards against tiny-spread applications where the z-score alone
+        would promote noise into anomalies.
+    min_baseline:
+        Minimum samples an application's series must hold before any of
+        its jobs can be judged (no baseline, no verdict).
+    sigma_floor:
+        Lower bound on the robust spread estimate; a fleet of
+        near-identical scores would otherwise make sigma collapse to 0.
+    min_samples:
+        Scores backed by fewer timeseries samples than this are never
+        judged: a two-sample job's mean is a sampling artifact (its
+        warm-up ramp), not evidence of inefficiency.  Scores with
+        unknown sample counts (``n_samples == 0``) are judged normally.
+    window_s:
+        History window the baseline quantiles are computed over.
+    """
+
+    def __init__(
+        self,
+        obs,
+        *,
+        threshold: float = 3.5,
+        min_drop: float = 0.15,
+        min_baseline: int = 4,
+        sigma_floor: float = 0.05,
+        min_samples: int = 6,
+        window_s: float = 86400.0,
+    ) -> None:
+        self.obs = obs
+        self.threshold = threshold
+        self.min_drop = min_drop
+        self.min_baseline = min_baseline
+        self.sigma_floor = sigma_floor
+        self.min_samples = min_samples
+        self.window_s = window_s
+        self.open_anomalies: tuple[Anomaly, ...] = ()
+        self._seen: set[tuple[str, str, int]] = set()
+        self._flagged: set[tuple[str, str, int]] = set()
+        self._members: set[str] = set()
+        registry: MetricsRegistry = obs.registry
+        self._c_anomalies = registry.counter(
+            "analytics_anomalies_total",
+            "Jobs flagged as deviating from their application baseline",
+            ("member", "kind"),
+        )
+        self._g_open = registry.gauge(
+            "analytics_anomalies_open_rows",
+            "Anomalous jobs flagged by the most recent detection pass",
+        )
+
+    # -- baselines -----------------------------------------------------------
+
+    def ingest(self, scores: Iterable[JobScore]) -> int:
+        """Feed scores not yet seen into the history; returns new samples.
+
+        Idempotent per ``(member, resource, job_id)``: repeated detection
+        passes over the same federated rows do not double-weight the
+        baselines.
+        """
+        history = self.obs.history
+        n = 0
+        for score in scores:
+            key = (score.member, score.resource, score.job_id)
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            history.observe(
+                SCORE_SERIES, score.score,
+                member=score.member, app=score.application,
+            )
+            n += 1
+        return n
+
+    def baseline(self, application: str) -> tuple[float, float] | None:
+        """``(median, sigma)`` for one application, or None if too thin.
+
+        Both numbers come from the history's quantile queries: the median
+        directly, sigma from the interquartile range (floored).
+        """
+        history = self.obs.history
+        samples = history.samples(SCORE_SERIES, app=application)
+        if len(samples) < self.min_baseline:
+            return None
+        median = history.quantile_over_time(
+            0.5, SCORE_SERIES, self.window_s, app=application
+        )
+        q25 = history.quantile_over_time(
+            0.25, SCORE_SERIES, self.window_s, app=application
+        )
+        q75 = history.quantile_over_time(
+            0.75, SCORE_SERIES, self.window_s, app=application
+        )
+        if median is None or q25 is None or q75 is None:
+            return None
+        sigma = max((q75 - q25) / _IQR_TO_SIGMA, self.sigma_floor)
+        return median, sigma
+
+    # -- detection -----------------------------------------------------------
+
+    def _ensure_counter_children(self, members: Iterable[str]) -> None:
+        """Pre-register zero-valued counter children for new members.
+
+        A counter child born by its own first ``inc()`` has no recorded
+        zero baseline, so windowed ``increase()`` queries cannot see the
+        0 -> 1 step that is the whole point of the
+        ``analytics_anomaly_rate_high`` rule.  Creating the children at 0
+        and snapshotting the history *before* any increment makes the
+        first flag visible to the alert engine.
+        """
+        new = [m for m in members if m not in self._members]
+        if not new:
+            return
+        for member in new:
+            self._members.add(member)
+            for kind in (*_KIND_TAGS, "low-efficiency"):
+                self._c_anomalies.labels(member=member, kind=kind)
+        self.obs.history.record()
+
+    def detect(self, scores: Iterable[JobScore]) -> list[Anomaly]:
+        """Flag jobs deviating from their application baseline.
+
+        Ingests any unseen scores first, then judges every score against
+        its application's robust baseline.  Returns the anomalies found
+        this pass (also kept on :attr:`open_anomalies`); newly flagged
+        jobs increment ``analytics_anomalies_total`` exactly once.
+        """
+        score_list = list(scores)
+        self._ensure_counter_children({s.member for s in score_list})
+        self.ingest(score_list)
+        anomalies: list[Anomaly] = []
+        for score in score_list:
+            if 0 < score.n_samples < self.min_samples:
+                continue
+            base = self.baseline(score.application)
+            if base is None:
+                continue
+            median, sigma = base
+            drop = median - score.score
+            if drop < self.min_drop:
+                continue
+            zscore = drop / sigma
+            if zscore < self.threshold:
+                continue
+            kind = classify_kind(score.tags)
+            anomalies.append(
+                Anomaly(
+                    job=score, kind=kind,
+                    baseline=median, sigma=sigma, zscore=zscore,
+                )
+            )
+            key = (score.member, score.resource, score.job_id)
+            if key not in self._flagged:
+                self._flagged.add(key)
+                self._c_anomalies.labels(member=score.member, kind=kind).inc()
+        anomalies.sort(key=lambda a: (a.job.score, a.job.member, a.job.job_id))
+        self.open_anomalies = tuple(anomalies)
+        self._g_open.set(len(anomalies))
+        return anomalies

@@ -153,6 +153,31 @@ class MetricsHistory:
             self.compact(now=t)
         return n
 
+    def observe(self, name: str, value: float, *, now: float | None = None, **labels: str) -> None:
+        """Append one sample to an explicit series (no registry child).
+
+        For event-shaped data — one sample per job, per request, per
+        document — that has no natural counter/gauge in the registry but
+        should still be queryable with the history's window vocabulary
+        (the analytics stage records one efficiency score per job this
+        way).  Two observations at the same clock reading collapse to the
+        newer value, matching :meth:`record`; pair with an auto-advancing
+        :class:`~repro.obs.clock.FakeClock` when sample identity matters.
+        """
+        if not self.enabled:
+            return
+        t = float(self._clock.now() if now is None else now)
+        key: SeriesKey = (
+            name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+        )
+        series = self._series.get(key)
+        if series is None:
+            series = self._series.setdefault(key, _Series())
+        series.append(t, float(value))
+        if len(series.samples) > self.max_samples:
+            self._compact_series(series, t)
+            del series.samples[: max(0, len(series.samples) - self.max_samples)]
+
     def compact(self, *, now: float | None = None) -> None:
         """Apply the retention ladder to every series."""
         t = float(self._clock.now() if now is None else now)
@@ -277,11 +302,18 @@ class MetricsHistory:
 
     def increase(
         self, name: str, window_s: float, *, at: float | None = None, **labels: str
-    ) -> float:
+    ) -> float | None:
         """Counter-reset-aware increase over the window, summed across
         matching series: negative steps are treated as the counter having
-        restarted from zero, matching PromQL ``increase()``."""
+        restarted from zero, matching PromQL ``increase()``.
+
+        Returns None when no matching series holds a computable step —
+        no samples, or only a single sample with nothing before the
+        window to difference against.  "No data" and "no growth" are
+        different answers, and the alert engine treats them differently.
+        """
         total = 0.0
+        computed = False
         for series in self._matches(name, labels):
             inside, before = self._window(series, window_s, at)
             prev = before[1] if before is not None else None
@@ -289,16 +321,18 @@ class MetricsHistory:
                 if prev is not None:
                     step = v - prev
                     total += step if step >= 0 else v
+                    computed = True
                 prev = v
-        return total
+        return total if computed else None
 
     def rate(
         self, name: str, window_s: float, *, at: float | None = None, **labels: str
-    ) -> float:
-        """Per-second :meth:`increase` over the window."""
+    ) -> float | None:
+        """Per-second :meth:`increase` over the window (None = no data)."""
         if window_s <= 0:
             raise ValueError("rate() needs a positive window")
-        return self.increase(name, window_s, at=at, **labels) / window_s
+        increase = self.increase(name, window_s, at=at, **labels)
+        return None if increase is None else increase / window_s
 
     def quantile_over_time(
         self,

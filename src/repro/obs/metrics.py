@@ -41,7 +41,7 @@ __all__ = [
 
 #: Naming convention: snake_case plus a unit suffix.  Single source of
 #: truth — the repolint rule checks literals against the same pattern.
-METRIC_NAME_PATTERN = r"^[a-z][a-z0-9_]*_(total|seconds|bytes|rows)$"
+METRIC_NAME_PATTERN = r"^[a-z][a-z0-9_]*_(total|seconds|bytes|rows|ratio)$"
 METRIC_NAME_RE = re.compile(METRIC_NAME_PATTERN)
 
 #: Latency buckets (seconds) sized for in-process pipeline stages.

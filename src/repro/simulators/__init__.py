@@ -39,6 +39,8 @@ from .perf import (
     JobPerformance,
     generate_job_performance,
     generate_performance_batch,
+    inject_cache_thrash,
+    inject_idle_tail,
     render_job_script,
 )
 from .sites import SitePreset, calibrate_jobs_per_day, ccr_like_site, figure1_sites
@@ -93,6 +95,8 @@ __all__ = [
     "figure1_sites",
     "generate_job_performance",
     "generate_performance_batch",
+    "inject_cache_thrash",
+    "inject_idle_tail",
     "nu_to_xdsu",
     "render_job_script",
     "run_hpl",

@@ -139,6 +139,59 @@ def generate_job_performance(
     )
 
 
+def inject_idle_tail(perf: JobPerformance, *, fraction: float = 0.4) -> JobPerformance:
+    """Return a copy of ``perf`` whose trailing ``fraction`` of samples idle.
+
+    Models a job that finished its real work early and then sat on its
+    allocation (a hung rank, a sleep-until-walltime script): CPU, FLOPS,
+    memory bandwidth and I/O all collapse to near zero for the tail while
+    the allocation keeps burning core hours.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    n = len(perf.timestamps)
+    cut = max(1, n - int(n * fraction))
+    series = {name: values.copy() for name, values in perf.series.items()}
+    for name in ("cpu_user", "flops_gf", "mem_bw_gbs",
+                 "io_read_mbs", "io_write_mbs",
+                 "block_read_mbs", "block_write_mbs"):
+        series[name][cut:] = 0.0
+    series["cpu_system"][cut:] = 0.01
+    return JobPerformance(
+        job_id=perf.job_id,
+        resource=perf.resource,
+        interval_s=perf.interval_s,
+        timestamps=perf.timestamps,
+        series=series,
+        job_script=perf.job_script,
+    )
+
+
+def inject_cache_thrash(
+    perf: JobPerformance, *, bw_factor: float = 5.0, flops_factor: float = 0.1
+) -> JobPerformance:
+    """Return a copy of ``perf`` that thrashes the memory hierarchy.
+
+    Models a cache-hostile access pattern: the cores stay busy
+    (``cpu_user`` untouched) but arithmetic throughput collapses while
+    memory bandwidth saturates — the low-arithmetic-intensity corner of
+    the roofline that MPCDF-style job analysis tags "memory-bound".
+    """
+    if bw_factor <= 0 or flops_factor <= 0:
+        raise ValueError("bw_factor and flops_factor must be positive")
+    series = {name: values.copy() for name, values in perf.series.items()}
+    series["mem_bw_gbs"] = series["mem_bw_gbs"] * bw_factor
+    series["flops_gf"] = series["flops_gf"] * flops_factor
+    return JobPerformance(
+        job_id=perf.job_id,
+        resource=perf.resource,
+        interval_s=perf.interval_s,
+        timestamps=perf.timestamps,
+        series=series,
+        job_script=perf.job_script,
+    )
+
+
 def render_job_script(record: JobRecord) -> str:
     """A plausible SLURM batch script for the job (Job Viewer content)."""
     hours = record.req_walltime_s // SECONDS_PER_HOUR

@@ -16,6 +16,10 @@ for one instance (or a federation hub's combined sources):
 - ``GET /query?realm=jobs&metric=xdsu&start=...&end=...&period=month``
   ``&group_by=resource&view=timeseries&filter.resource=comet,stampede``
 - ``GET /chart?...`` — same parameters, chart-shaped payload
+- ``GET /jobs/efficiency?start=...&end=...&application=...&member=...``
+  — the federation-wide per-job efficiency ranking (least efficient
+  first) from the analytics fact table; same cache/ETag/pagination
+  contract as ``/query``
 
 ``/query`` and ``/chart`` are cache-first: they delegate to a
 :class:`~repro.ui.serving.QueryService` whose result cache is keyed on
@@ -48,13 +52,19 @@ from ..auth.accounts import Session
 from ..obs import PROMETHEUS_CONTENT_TYPE, Observability
 from ..realms.base import Realm
 from ..warehouse import Schema
-from .serving import QueryService, json_sanitize
+from .serving import (
+    QueryService,
+    ServingParamError,
+    ServingResult,
+    _int_param,
+    json_sanitize,
+)
 
 #: Routes that get their own label on the request counter/histogram;
 #: anything else is folded into "other" to bound label cardinality.
 _KNOWN_ROUTES = (
     "/", "/health", "/status", "/alerts", "/metrics", "/realms",
-    "/query", "/chart",
+    "/query", "/chart", "/jobs/efficiency",
 )
 
 
@@ -197,10 +207,13 @@ class XdmodApi:
                 }
                 for name, realm in self.realms.items()
             }, {}
-        if route in ("/query", "/chart"):
+        if route in ("/query", "/chart", "/jobs/efficiency"):
             if not self._authorized(headers):
                 return 401, {"error": "authentication required"}, {}
-            result = self.serving.respond(params, chart=(route == "/chart"))
+            if route == "/jobs/efficiency":
+                result = self._jobs_efficiency(params)
+            else:
+                result = self.serving.respond(params, chart=(route == "/chart"))
             extra: dict[str, str] = {}
             if result.etag is not None:
                 extra["ETag"] = result.etag
@@ -209,6 +222,43 @@ class XdmodApi:
                     return 304, {}, extra
             return result.status, result.payload, extra
         return 404, {"error": f"no route {route!r}"}, {}
+
+    def _jobs_efficiency(self, params: Mapping[str, str]) -> ServingResult:
+        """The per-job efficiency ranking, least efficient first.
+
+        Served cache-first through the query service's generic path: the
+        full ranking is cached under one key per (window, application,
+        member) and invalidated by the source schemas' ``data_version``
+        stamps — a replication sync that lands new analytics rows makes
+        the next read a ``stale`` recompute, not a wrong answer.
+        """
+        realm = self.realms.get("supremm")
+        if realm is None or not hasattr(realm, "job_scores"):
+            return ServingResult(404, {"error": "supremm realm not attached"})
+        try:
+            start = _int_param(params, "start")
+            end = _int_param(params, "end")
+            offset = _int_param(params, "offset", default=0, minimum=0)
+            limit = _int_param(params, "limit", minimum=0)
+        except ServingParamError as exc:
+            return ServingResult(400, {"error": str(exc)})
+        application = params.get("application") or None
+        member = params.get("member") or None
+        key = ("jobs_efficiency", start, end, application, member)
+
+        def compute() -> dict[str, Any]:
+            return {
+                "jobs": realm.job_scores(
+                    self.sources,
+                    start=start, end=end,
+                    application=application, member=member,
+                )
+            }
+
+        return self.serving.respond_cached(
+            key, compute,
+            offset=offset or 0, limit=limit, field="jobs",
+        )
 
     def handle_raw(
         self, path: str, headers: Mapping[str, str]
@@ -282,6 +332,13 @@ class XdmodApi:
                 payload["alerts_firing"] = firing
                 if firing:
                     payload["status"] = "degraded"
+            plane = getattr(self.monitor, "analytics", None)
+            if plane is not None:
+                payload["anomalies_open"] = plane.anomalies_open
+        if "anomalies_open" not in payload and self.obs is not None:
+            last = self.obs.history.last("analytics_anomalies_open_rows")
+            if last is not None:
+                payload["anomalies_open"] = int(last)
         return 200, payload
 
     def _alerts(self) -> tuple[int, dict[str, Any]]:

@@ -41,7 +41,7 @@ import json
 import math
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 from ..analysis.sanitizer import create_lock
 from ..obs import Observability
@@ -431,6 +431,56 @@ class QueryService:
                 return ServingResult(200, memo[0], etag=memo[1], cache="hit")
             full = entry.payload
         page = self._paginate(full, request)
+        etag = self._etag(page)
+        if entry is not None:
+            entry.memo_page(page_key, page, etag)
+        return ServingResult(200, page, etag=etag, cache=cache_state)
+
+    def respond_cached(
+        self,
+        key: tuple,
+        compute: Callable[[], dict[str, Any]],
+        *,
+        offset: int = 0,
+        limit: int | None = None,
+        field: str = "rows",
+    ) -> ServingResult:
+        """Cache-first serving for a payload not built by a realm query.
+
+        Same flow as :meth:`respond` — version-stamped cache entry,
+        per-window page memoization, strong ETag — for routes whose full
+        payload comes from ``compute()`` instead of ``realm.query``
+        (e.g. ``/jobs/efficiency``).  ``compute`` runs only on a miss or
+        stale entry and must return the full payload dict whose
+        ``field`` key holds the list to paginate.
+        """
+        cache_state = "bypass"
+        versions = self.source_versions()
+        entry: _CacheEntry | None = None
+        if self.enabled:
+            entry, cache_state = self.cache.lookup(key, versions)
+        elif self._c_bypass is not None:
+            self._c_bypass.inc()
+        page_key = (offset, limit)
+        if entry is None:
+            try:
+                full = compute()
+            except RealmQueryError as exc:
+                return ServingResult(400, {"error": str(exc)})
+            if self.enabled:
+                entry = self.cache.store(key, versions, full)
+        else:
+            memo = entry.get_page(page_key)
+            if memo is not None:
+                return ServingResult(200, memo[0], etag=memo[1], cache="hit")
+            full = entry.payload
+        items = full[field]
+        stop = len(items) if limit is None else offset + limit
+        page = dict(full)
+        page[field] = items[offset:stop]
+        page[f"total_{field}"] = len(items)
+        page["offset"] = offset
+        page["limit"] = limit
         etag = self._etag(page)
         if entry is not None:
             entry.memo_page(page_key, page, etag)

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core import FederationHub, XdmodInstance, supremm_summary_filter
 from repro.etl import ingest_performance
-from repro.realms import jobs_realm, supremm_realm
+from repro.realms import RealmQueryError, jobs_realm, supremm_realm
 from repro.simulators import (
     WorkloadConfig,
     WorkloadGenerator,
@@ -166,3 +166,76 @@ class TestFederatedSupremm:
         assert result.rows
         for row in result.rows:
             assert row.value >= 0
+
+    def test_federated_grouping_merges_per_member_sums(self, perf_federation):
+        """Grouped cells merge numerators/denominators across members.
+
+        Each satellite contributes its own weighted sums per application;
+        the federated cell must equal the merged division — never an
+        average of the two members' per-application averages.
+        """
+        hub, satellites = perf_federation
+        realm = supremm_realm()
+        federated = realm.query_federated(
+            hub.federated_schemas(), "avg_flops_gf",
+            start=T0, end=T_MAR, period="year", group_by="application",
+        )
+        acc: dict[str, list[float]] = {}
+        for satellite in satellites:
+            schema = satellite.schema
+            apps = {
+                r["app_id"]: r["name"]
+                for r in schema.table("dim_application").rows()
+            }
+            jobs = {
+                (r["resource_id"], r["job_id"]): r
+                for r in schema.table("fact_job").rows()
+            }
+            for perf in schema.table("fact_job_perf").rows():
+                job = jobs[(perf["resource_id"], perf["job_id"])]
+                if job["cpu_hours"] <= 0:
+                    continue
+                entry = acc.setdefault(apps[job["app_id"]], [0.0, 0.0])
+                entry[0] += perf["flops_gf_avg"] * job["cpu_hours"]
+                entry[1] += job["cpu_hours"]
+        expected = {app: num / den for app, (num, den) in acc.items()}
+        got = {row.group: row.value for row in federated.rows}
+        assert got.keys() == expected.keys()
+        for app, value in expected.items():
+            assert got[app] == pytest.approx(value)
+
+    def test_federated_skips_members_without_perf_data(self, perf_federation):
+        hub, _ = perf_federation
+        realm = supremm_realm()
+        sources = dict(hub.federated_schemas())
+        baseline = realm.query_federated(
+            sources, "avg_cpu_user", start=T0, end=T_MAR
+        )
+        assert baseline.rows
+        # a member with no performance summaries contributes nothing
+        # (and does not error the whole federated answer)
+        sources["fed_idle"] = XdmodInstance("idle").schema
+        with_idle = realm.query_federated(
+            sources, "avg_cpu_user", start=T0, end=T_MAR
+        )
+        assert [
+            (r.group, r.period_start, r.value) for r in with_idle.rows
+        ] == [(r.group, r.period_start, r.value) for r in baseline.rows]
+        # an empty source mapping answers empty, not an error
+        empty = realm.query_federated({}, "avg_cpu_user", start=T0, end=T_MAR)
+        assert empty.rows == []
+
+    def test_federated_unknown_metric_and_dimension_raise(
+        self, perf_federation
+    ):
+        hub, _ = perf_federation
+        realm = supremm_realm()
+        with pytest.raises(RealmQueryError):
+            realm.query_federated(
+                hub.federated_schemas(), "avg_nope", start=T0, end=T_MAR
+            )
+        with pytest.raises(RealmQueryError):
+            realm.query_federated(
+                hub.federated_schemas(), "avg_cpu_user",
+                start=T0, end=T_MAR, group_by="galaxy",
+            )

@@ -169,6 +169,88 @@ class TestMetricsHistory:
         with pytest.raises(ValueError):
             history.quantile_over_time(1.5, "lag_rows", 60.0)
 
+    def test_single_sample_window_functions_return_none(self):
+        registry, history, clock = build_history()
+        gauge = registry.gauge("one_rows", "g")
+        gauge.set(5)
+        history.record()
+        # one sample with nothing before the window: no computable step,
+        # and "no data" must stay distinguishable from "no growth"
+        assert history.increase("one_rows", 60.0) is None
+        assert history.rate("one_rows", 60.0) is None
+        clock.advance(10.0)
+        history.record()
+        assert history.increase("one_rows", 60.0) == 0.0
+        assert history.rate("one_rows", 60.0) == 0.0
+        # a window that slid past every sample is "no data" again
+        clock.advance(100.0)
+        assert history.increase("one_rows", 5.0) is None
+        assert history.increase("never_rows", 60.0) is None
+
+    def test_quantile_over_empty_window_is_none(self):
+        registry, history, clock = build_history()
+        gauge = registry.gauge("q_rows", "g")
+        for value in (1, 2, 3):
+            gauge.set(value)
+            history.record()
+            clock.advance(10.0)
+        assert history.quantile_over_time(0.5, "q_rows", 3600.0) == 2.0
+        # the window has slid past every sample: no data, not 0
+        clock.advance(1000.0)
+        assert history.quantile_over_time(0.5, "q_rows", 5.0) is None
+
+    def test_counter_reset_survives_retention_downsampling(self):
+        ladder = AggregationLevelSet(
+            name="r", field="age_s", unit="seconds",
+            levels=(
+                AggregationLevel("raw", 0.0, 10.0),
+                AggregationLevel("coarse", 10.0, 100.0),
+            ),
+        )
+        registry = MetricsRegistry()
+        history = MetricsHistory(registry, FakeClock(0.0), retention=ladder)
+        gauge = registry.gauge("resets_total", "counter stand-in")
+        # the counter climbs to 49, restarts from zero at t=50, climbs again
+        for t in range(95):
+            gauge.set(t if t < 50 else t - 50)
+            history.record(now=float(t))
+        history.compact(now=95.0)
+        kept = history.samples("resets_total")
+        # keep-newest-per-bucket downsampling must not erase the restart:
+        # the kept series still shows a negative step across the
+        # raw/coarse tier boundary
+        values = [v for _, v in kept]
+        assert any(b < a for a, b in zip(values, values[1:]))
+        # increase() over the compacted series equals the reset-aware fold
+        # a client would compute from samples() itself
+        expected, prev = 0.0, None
+        for _, v in kept:
+            if prev is not None:
+                expected += (v - prev) if v >= prev else v
+            prev = v
+        assert expected > 0
+        assert history.increase("resets_total", 95.0, at=95.0) == expected
+
+    def test_observe_feeds_explicit_series(self):
+        registry, history, clock = build_history()
+        for score in (0.9, 0.8, 0.2):
+            history.observe("job_score_ratio", score, member="s0", app="namd")
+            clock.advance(1.0)
+        assert history.samples("job_score_ratio", app="namd") == [
+            (1000.0, 0.9), (1001.0, 0.8), (1002.0, 0.2)
+        ]
+        assert history.last("job_score_ratio", member="s0") == 0.2
+        assert history.quantile_over_time(
+            0.5, "job_score_ratio", 3600.0, app="namd"
+        ) == 0.8
+        # same clock reading: the newer observation wins, as record() does
+        history.observe("job_score_ratio", 0.5, now=1002.0, member="s0", app="namd")
+        assert history.last("job_score_ratio") == 0.5
+        # disabled history ignores observations entirely
+        _, disabled, _ = build_history(enabled=False)
+        disabled.observe("job_score_ratio", 1.0)
+        assert disabled.samples("job_score_ratio") == []
+
     def test_age_tracks_value_changes_not_samples(self):
         registry, history, clock = build_history()
         gauge = registry.gauge("beat_rows", "g")

@@ -16,8 +16,8 @@ from typing import Sequence
 PACKAGES = [
     "repro", "repro.warehouse", "repro.simulators", "repro.etl",
     "repro.aggregation", "repro.realms", "repro.core", "repro.auth",
-    "repro.ui", "repro.appkernels", "repro.analysis", "repro.obs",
-    "repro.config", "repro.timeutil",
+    "repro.ui", "repro.appkernels", "repro.analysis", "repro.analytics",
+    "repro.obs", "repro.config", "repro.timeutil",
 ]
 
 FOOTER = """\

@@ -688,6 +688,8 @@ class AlertRuleIdRule(Rule):
         "api_error_ratio_high",
         "circuit_breaker_flap",
         "dead_letter_growth",
+        "fleet_etl_ingest_stall",
+        "fleet_telemetry_stale",
         "member_stale",
         "replication_lag_high",
         "sync_failure_burn_rate",

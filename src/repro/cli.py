@@ -20,6 +20,7 @@ equivalents for this reproduction:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -328,6 +329,83 @@ def _demo_federation(*, inject_faults: bool = False, days: int = 3):
     return hub, satellites, monitor
 
 
+def _demo_fleet_federation(*, inject_faults: bool = False, days: int = 2):
+    """Three-site tight federation with telemetry shipping to the hub.
+
+    The builder behind ``obs fleet`` and the A15 dashboard artifact:
+    every satellite ingests a couple of days of synthetic jobs, joins
+    tight, and ships its registry into the hub's fleet TSDB on each
+    healthy sync cycle.  With ``inject_faults`` the third site gets a
+    fresh replication backlog and a channel that always fails *after*
+    two clean cycles, then the shared clock jumps past the staleness
+    window — so its shipments stop, ``fleet_telemetry_stale`` fires
+    deterministically, and the dashboard shows one STALE member.
+    """
+    from .core import FederationHub, FederationMonitor, XdmodInstance
+    from .core.faults import FaultPlan, inject_apply_faults
+    from .obs import FakeClock, Observability, alert_rule
+    from .simulators import (
+        WorkloadGenerator,
+        ccr_like_site,
+        simulate_resource,
+        to_sacct_log,
+    )
+    from .timeutil import ts
+
+    def bundle(name: str) -> Observability:
+        return Observability(
+            clock=FakeClock(auto_advance=0.001), name=name
+        )
+
+    hub = FederationHub("hub", obs=bundle("hub"))
+    start, end = ts(2017, 1, 1), ts(2017, 1, 1 + days)
+    satellites = []
+    presets = []
+    for i in range(3):
+        instance = XdmodInstance(f"site{i}", obs=bundle(f"site{i}"))
+        site = ccr_like_site(scale=0.04, seed=40 + i)
+        records = simulate_resource(
+            site.resource, WorkloadGenerator(site.workload).generate(start, end)
+        )
+        instance.pipeline.ingest_sacct(
+            to_sacct_log(records), default_resource=site.name
+        )
+        hub.join(instance, mode="tight")
+        satellites.append(instance)
+        presets.append(site)
+    monitor = FederationMonitor(hub)
+    for _ in range(3):
+        hub.sync()
+        monitor.evaluate_alerts()
+    if inject_faults:
+        # fresh backlog + always-failing channel: site2's sync outcomes
+        # turn failed, so its telemetry stops riding the sync machinery
+        quiet, site = satellites[2], presets[2]
+        extra = simulate_resource(
+            site.resource,
+            WorkloadGenerator(site.workload).generate(end, end + 86400),
+        )
+        # the generator restarts job ids per generate() call; offset them
+        # so the warehouse dedup doesn't swallow the whole backlog
+        extra = [
+            dataclasses.replace(r, job_id=r.job_id + 100_000) for r in extra
+        ]
+        quiet.pipeline.ingest_sacct(
+            to_sacct_log(extra), default_resource=site.name
+        )
+        inject_apply_faults(
+            hub.member(quiet.name).channel,
+            FaultPlan(transient_rate=1.0, transient_burst=10**9),
+        )
+        hub.obs.clock.advance(
+            alert_rule("fleet_telemetry_stale").max_age_s + 300.0
+        )
+        for _ in range(2):
+            hub.sync()
+            monitor.evaluate_alerts()
+    return hub, satellites, monitor
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     """Telemetry dumps from a demo workload (or a saved trace file).
 
@@ -351,6 +429,24 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         firing = monitor.alerts.firing()
         if firing:
             print(f"{len(firing)} alert(s) firing", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.action == "fleet":
+        from .obs import alert_rule
+
+        hub, _, monitor = _demo_fleet_federation(
+            inject_faults=args.inject_faults
+        )
+        print(monitor.render_fleet())
+        stale = hub.fleet.stale_members(
+            alert_rule("fleet_telemetry_stale").max_age_s
+        )
+        if stale:
+            print(
+                f"{len(stale)} member(s) stale: {', '.join(stale)}",
+                file=sys.stderr,
+            )
             return 1
         return 0
 
@@ -570,10 +666,11 @@ def build_parser() -> argparse.ArgumentParser:
         "obs", help="dump telemetry from a demo workload"
     )
     p.add_argument(
-        "action", choices=["metrics", "slow", "trace", "alerts"],
+        "action", choices=["metrics", "slow", "trace", "alerts", "fleet"],
         help="metrics: Prometheus text; slow: slow-span report; "
              "trace: span JSONL (tail) or --federated trace trees; "
-             "alerts: evaluate the SLO rule catalog on a demo federation",
+             "alerts: evaluate the SLO rule catalog on a demo federation; "
+             "fleet: the fleet telemetry dashboard over shipped metrics",
     )
     p.add_argument("--scale", type=float, default=0.1)
     p.add_argument("--top", type=int, default=10,
@@ -588,7 +685,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "the assembled cross-instance trace trees")
     p.add_argument("--inject-faults", action="store_true",
                    help="with alerts: make the tight member fail so the "
-                        "burn-rate rules fire (demo/CI artifact)")
+                        "burn-rate rules fire; with fleet: silence one "
+                        "member so the staleness rule fires (demo/CI "
+                        "artifact)")
     p.set_defaults(func=_cmd_obs)
 
     p = sub.add_parser(

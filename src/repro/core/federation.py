@@ -18,6 +18,7 @@ from ..aggregation import AggregationConfig, Aggregator
 from ..etl.pipeline import WAREHOUSE_SCHEMA, IngestPipeline
 from ..etl.star import PersonInfo
 from ..obs import Observability
+from ..obs.fleet import FleetTSDB, ShipmentError, TelemetryShipper
 from ..simulators.hpl import ConversionTable
 from ..warehouse import Database, Schema
 from .errors import MembershipError, VersionMismatchError
@@ -125,6 +126,7 @@ class FederationMember:
     loose_channel: LooseChannel | None = None
     breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
     last_error: str = ""
+    telemetry: TelemetryShipper | None = None
 
     @property
     def name(self) -> str:
@@ -209,13 +211,56 @@ class FederationHub(XdmodInstance):
             "Per-member sync/shipment outcomes by status",
             ("member", "status"),
         )
+        #: merged TSDB over every member's shipped telemetry; disabled in
+        #: lockstep with the hub's own observability bundle
+        self.fleet = FleetTSDB(self.obs.clock, enabled=self.obs.enabled)
+        self._m_fleet_ships = registry.counter(
+            "fleet_shipments_total",
+            "Telemetry shipments ingested into the fleet TSDB by outcome",
+            ("member", "status"),
+        )
+        self._g_fleet_bytes = registry.gauge(
+            "fleet_shipment_bytes",
+            "Wire size of the member's most recent telemetry shipment",
+            ("member",),
+        )
+        self._g_fleet_series = registry.gauge(
+            "fleet_series_rows",
+            "Fleet TSDB series currently held per member",
+            ("member",),
+        )
+        self._g_fleet_staleness = registry.gauge(
+            "fleet_staleness_seconds",
+            "Seconds since the member's last fresh telemetry shipment",
+            ("member",),
+        )
 
     def _record_outcomes(self, out: Mapping[str, MemberSyncOutcome]) -> None:
-        """Count outcomes, refresh gauges, snapshot the metrics history."""
+        """Count outcomes, ship telemetry, refresh gauges, snapshot."""
         for name, outcome in out.items():
             self._m_member_syncs.labels(member=name, status=outcome.status).inc()
+            # telemetry rides the sync machinery: a member the hub could
+            # not reach this cycle (failed / circuit open) ships nothing,
+            # so its fleet series go stale exactly when its data does
+            if outcome.status not in ("failed", "circuit_open"):
+                self._ship_telemetry(self._members.get(name))
         self._record_member_gauges()
         self.obs.history.record()
+
+    def _ship_telemetry(self, member: FederationMember | None) -> None:
+        """Snapshot one member's registry into the fleet TSDB."""
+        if member is None or member.telemetry is None or not self.fleet.enabled:
+            return
+        shipment = member.telemetry.snapshot()
+        try:
+            status = self.fleet.ingest(shipment)
+        except ShipmentError:
+            self._m_fleet_ships.labels(member=member.name, status="corrupt").inc()
+            return
+        self._m_fleet_ships.labels(member=member.name, status=status).inc()
+        self._g_fleet_bytes.labels(member=member.name).set(
+            member.telemetry.last_bytes
+        )
 
     def _note_transition(self, member: FederationMember, before: CircuitState) -> None:
         after = member.breaker.state
@@ -226,10 +271,19 @@ class FederationHub(XdmodInstance):
 
     def _record_member_gauges(self) -> None:
         lag = self.lag()
+        at = self.obs.clock.now() if self.fleet.enabled else 0.0
         for member in self.members:
             self._g_lag.labels(member=member.name).set(lag.get(member.name, 0))
             self._g_dead_letters.labels(member=member.name).set(
                 member.dead_letter_depth
+            )
+            if member.telemetry is None:
+                continue
+            staleness = self.fleet.staleness(member.name, at=at)
+            if staleness is not None:
+                self._g_fleet_staleness.labels(member=member.name).set(staleness)
+            self._g_fleet_series.labels(member=member.name).set(
+                self.fleet.series_count(member.name)
             )
 
     # -- membership -----------------------------------------------------------
@@ -273,6 +327,14 @@ class FederationHub(XdmodInstance):
         )
         if breaker is not None:
             member.breaker = breaker
+        if self.fleet.enabled:
+            # telemetry remote-write: the member's local registry ships
+            # into the hub's fleet TSDB after every healthy sync cycle
+            member.telemetry = TelemetryShipper(
+                satellite.obs.registry,
+                member=satellite.name,
+                clock=satellite.obs.clock,
+            )
         if mode == "tight":
             target = self.database.ensure_schema(fed_schema_name)
             member.channel = ReplicationChannel(
@@ -302,20 +364,33 @@ class FederationHub(XdmodInstance):
     def leave(self, name: str, *, drop_data: bool = False) -> None:
         """Remove a member; optionally drop its replicated schema.
 
-        The departed member's per-member gauge series are removed from
-        the registry too — otherwise its last ``replication_lag_rows`` /
-        ``federation_dead_letters_rows`` values would sit in every later
-        scrape as a phantom member (and keep feeding the lag alert).
+        The departed member's telemetry is removed everywhere it lives:
+        its per-member registry children (otherwise the last
+        ``replication_lag_rows`` value would sit in every later scrape as
+        a phantom member and keep feeding the lag alert), its
+        ``MetricsHistory`` series (otherwise partial-label queries like
+        ``quantile_over_time(..., )`` would keep pooling them), and its
+        fleet TSDB state and shipped series.
         """
         member = self._members.pop(name, None)
         if member is None:
             raise MembershipError(f"{name!r} is not a member")
         if drop_data and self.database.has_schema(member.fed_schema):
             self.database.drop_schema(member.fed_schema)
-        self.obs.registry.remove_labels("replication_lag_rows", member=name)
-        self.obs.registry.remove_labels(
-            "federation_dead_letters_rows", member=name
-        )
+        for metric in (
+            "replication_lag_rows",
+            "federation_dead_letters_rows",
+            "federation_member_syncs_total",
+            "federation_circuit_transitions_total",
+            "federation_loose_ship_total",
+            "fleet_shipments_total",
+            "fleet_shipment_bytes",
+            "fleet_series_rows",
+            "fleet_staleness_seconds",
+        ):
+            self.obs.registry.remove_labels(metric, member=name)
+        self.obs.history.purge_labels(member=name)
+        self.fleet.purge_member(name)
 
     def member(self, name: str) -> FederationMember:
         try:

@@ -18,7 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
-from ..obs import DEFAULT_ALERT_RULES, AlertEngine, AlertRule, Observability
+from ..obs import (
+    DEFAULT_ALERT_RULES,
+    AlertEngine,
+    AlertRule,
+    Observability,
+    alert_rule,
+)
 from ..ui.ascii import render_sparkline
 from .consistency import check_federation
 from .federation import FederationHub
@@ -106,7 +112,9 @@ class FederationMonitor:
     ) -> None:
         self.hub = hub
         self.obs = obs if obs is not None else hub.obs
-        self.alerts = AlertEngine(self.obs.history, alert_rules)
+        self.alerts = AlertEngine(
+            self.obs.history, alert_rules, fleet=getattr(hub, "fleet", None)
+        )
         # duck-typed AnalyticsPlane (repro.analytics) — kept untyped so the
         # core monitor never imports the analytics package
         self.analytics = analytics
@@ -290,4 +298,86 @@ class FederationMonitor:
                     )
                 )
             lines.append("last aggregation: " + "; ".join(parts))
+        return "\n".join(lines)
+
+    def render_fleet(self, *, at: float | None = None) -> str:
+        """Fleet telemetry dashboard over the hub's merged TSDB.
+
+        Per member: last shipment sequence, stored series, staleness,
+        ETL ingest rate and cache hit-ratio *as the satellite reported
+        them*, hub-side replication lag, and the fleet-scoped alerts
+        currently firing (evaluate first via :meth:`evaluate_alerts`).
+
+        Deterministic: one clock read (or the explicit ``at``) anchors
+        every windowed query, so the panel is byte-identical across runs
+        of the same FakeClock-driven scenario.
+        """
+        hub = self.hub
+        fleet = getattr(hub, "fleet", None)
+        title = f"Fleet telemetry: {hub.name}"
+        lines = [title, "=" * len(title)]
+        if fleet is None or not fleet.member_names():
+            lines.append("(no telemetry shipments ingested)")
+            return "\n".join(lines)
+        now = float(self.obs.clock.now() if at is None else at)
+        stale_after = alert_rule("fleet_telemetry_stale").max_age_s
+        window = 600.0
+        lag = hub.lag()
+        names = fleet.member_names()
+        name_w = max([len("member")] + [len(n) for n in names]) + 2
+        lines.append(
+            f"{'member':<{name_w}}{'seq':>6}{'series':>8}{'age_s':>8}"
+            f"{'ingest/s':>10}{'lag':>6}{'cache':>7}  state"
+        )
+        for name in names:
+            seq = fleet.last_seq(name) or 0
+            age = fleet.staleness(name, at=now)
+            rate = fleet.history.rate(
+                "etl_ingest_records_total", window, at=now, member=name
+            )
+            hits = fleet.history.last(
+                "serving_cache_lookups_total", member=name, result="hit"
+            )
+            lookups = fleet.history.last(
+                "serving_cache_lookups_total", member=name
+            )
+            cache = (
+                f"{hits / lookups * 100:.0f}%"
+                if hits is not None and lookups else "-"
+            )
+            state = "STALE" if age is not None and age > stale_after else "fresh"
+            lines.append(
+                f"{name:<{name_w}}{seq:>6}{fleet.series_count(name):>8}"
+                f"{(f'{age:.0f}' if age is not None else '-'):>8}"
+                f"{(f'{rate:.2f}' if rate is not None else '-'):>10}"
+                f"{lag.get(name, 0):>6}{cache:>7}  {state}"
+            )
+        spark: list[str] = []
+        for name in names:
+            seqs = [
+                v for _, v in fleet.history.samples(
+                    "fleet_shipment_seq_rows", member=name
+                )
+            ]
+            if len(seqs) > 1:
+                spark.append(f"  {name:<{name_w}}seq {render_sparkline(seqs)}")
+        if spark:
+            lines.append("shipments (oldest -> newest):")
+            lines.extend(spark)
+        stale_members = fleet.stale_members(stale_after, at=now)
+        if stale_members:
+            lines.append("stale members: " + ", ".join(stale_members))
+        if self.alerts.evaluations:
+            firing = [
+                s for s in self.alerts.firing() if s.rule.scope == "fleet"
+            ]
+            lines.append(
+                f"fleet alerts: {len(firing)} firing"
+                + (
+                    " (" + ", ".join(
+                        f"{s.rule.id}[{s.member}]" for s in firing
+                    ) + ")"
+                    if firing else ""
+                )
+            )
         return "\n".join(lines)

@@ -21,6 +21,16 @@ from .alerts import (
 )
 from .anomaly import Anomaly, AnomalyDetector, JobScore
 from .clock import Clock, FakeClock, MonotonicClock
+from .fleet import (
+    SHIPMENT_VERSION,
+    FleetTSDB,
+    MemberTelemetry,
+    ShipmentError,
+    TelemetryShipper,
+    build_shipment,
+    shipment_checksum,
+    shipment_size,
+)
 from .history import DEFAULT_RETENTION, MetricsHistory
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -41,6 +51,7 @@ __all__ = [
     "METRIC_NAME_PATTERN",
     "METRIC_NAME_RE",
     "PROMETHEUS_CONTENT_TYPE",
+    "SHIPMENT_VERSION",
     "AlertEngine",
     "AlertRule",
     "AlertState",
@@ -50,19 +61,26 @@ __all__ = [
     "DEFAULT_ALERT_RULES",
     "FakeClock",
     "FederatedTraceAssembler",
+    "FleetTSDB",
     "GLOBAL_SCOPE",
     "JobScore",
+    "MemberTelemetry",
     "MetricError",
     "MetricsHistory",
     "MetricsRegistry",
     "MonotonicClock",
     "Observability",
     "ParsedExposition",
+    "ShipmentError",
     "SpanRecord",
+    "TelemetryShipper",
     "TraceContext",
     "Tracer",
     "alert_rule",
+    "build_shipment",
     "parse_prometheus_text",
+    "shipment_checksum",
+    "shipment_size",
 ]
 
 
@@ -91,6 +109,7 @@ class Observability:
         self.history = MetricsHistory(
             self.registry, self.clock, enabled=enabled
         )
+        self.tracer.bind_metrics(self.registry)
 
     @property
     def enabled(self) -> bool:

@@ -72,8 +72,12 @@ class AlertRule:
     ``member`` label.  ``scope="global"`` rules judge a federation-wide
     series with no member label (the API error ratio) and are evaluated
     once per cycle under the :data:`GLOBAL_SCOPE` pseudo-member.
-    ``for_count`` is how many consecutive breaching evaluations promote
-    pending to firing.
+    ``scope="fleet"`` rules are evaluated per member like
+    ``scope="member"``, but against the hub's merged
+    :class:`~repro.obs.fleet.FleetTSDB` history — the series satellites
+    *ship* rather than the series the hub records locally.  ``for_count``
+    is how many consecutive breaching evaluations promote pending to
+    firing.
     """
 
     id: str
@@ -89,7 +93,7 @@ class AlertRule:
     labels: tuple[tuple[str, str], ...] = ()
     denominator: str = ""
     func: str = "increase"  # burn_rate aggregate: increase | delta | rate
-    scope: str = "member"  # member | global
+    scope: str = "member"  # member | global | fleet
 
     def __post_init__(self) -> None:
         if self.kind not in ("threshold", "absence", "burn_rate"):
@@ -100,7 +104,7 @@ class AlertRule:
             raise ValueError(f"unknown burn-rate func {self.func!r}")
         if self.for_count < 1:
             raise ValueError("for_count must be >= 1")
-        if self.scope not in ("member", "global"):
+        if self.scope not in ("member", "global", "fleet"):
             raise ValueError(f"unknown alert scope {self.scope!r}")
 
     def value_for(
@@ -108,7 +112,7 @@ class AlertRule:
     ) -> float | None:
         """The number this rule judges, for one member (None = no data)."""
         labels = dict(self.labels)
-        if self.scope == "member":
+        if self.scope in ("member", "fleet"):
             labels["member"] = member
         if self.kind == "threshold":
             return history.last(self.metric, **labels)
@@ -118,7 +122,7 @@ class AlertRule:
         value = agg(self.metric, self.window_s, at=at, **labels)
         if self.denominator:
             den_labels = (
-                {"member": member} if self.scope == "member" else {}
+                {"member": member} if self.scope != "global" else {}
             )
             den = history.increase(
                 self.denominator, self.window_s, at=at, **den_labels
@@ -210,6 +214,26 @@ DEFAULT_ALERT_RULES: tuple[AlertRule, ...] = (
         summary="job-level anomaly flagged for the member within the window",
     ),
     AlertRule(
+        id="fleet_telemetry_stale",
+        kind="absence",
+        metric="fleet_shipment_seq_rows",
+        max_age_s=900.0,
+        for_count=1,
+        severity="page",
+        scope="fleet",
+        summary="no fresh telemetry shipment ingested from the member recently",
+    ),
+    AlertRule(
+        id="fleet_etl_ingest_stall",
+        kind="absence",
+        metric="etl_ingest_records_total",
+        max_age_s=3600.0,
+        for_count=1,
+        severity="warn",
+        scope="fleet",
+        summary="member-local ETL ingest counters have stopped advancing",
+    ),
+    AlertRule(
         id="api_error_ratio_high",
         kind="burn_rate",
         metric="serving_requests_total",
@@ -281,8 +305,10 @@ class AlertEngine:
         rules: Iterable[AlertRule] = DEFAULT_ALERT_RULES,
         *,
         clock=None,
+        fleet=None,
     ) -> None:
         self.history = history
+        self.fleet = fleet
         self.rules = tuple(rules)
         ids = [r.id for r in self.rules]
         if len(set(ids)) != len(ids):
@@ -295,19 +321,31 @@ class AlertEngine:
         """Run every rule for every member; returns all known states.
 
         ``scope="global"`` rules ignore the member list and evaluate once
-        under the :data:`GLOBAL_SCOPE` pseudo-member.
+        under the :data:`GLOBAL_SCOPE` pseudo-member; ``scope="fleet"``
+        rules evaluate over the fleet TSDB's merged history for every
+        member it has ingested telemetry from (skipped entirely when the
+        engine was built without a ``fleet``).
         """
         now = self._clock.now()
         self.evaluations += 1
         member_list = list(members)
         for rule in self.rules:
-            targets = member_list if rule.scope == "member" else [GLOBAL_SCOPE]
+            source = self.history
+            if rule.scope == "member":
+                targets = member_list
+            elif rule.scope == "fleet":
+                if self.fleet is None:
+                    continue
+                targets = self.fleet.member_names()
+                source = self.fleet.history
+            else:
+                targets = [GLOBAL_SCOPE]
             for member in targets:
                 key = (rule.id, member)
                 state = self._states.get(key)
                 if state is None:
                     state = self._states.setdefault(key, AlertState(rule, member))
-                value = rule.value_for(self.history, member, at=now)
+                value = rule.value_for(source, member, at=now)
                 state.value = value
                 if rule.breaches(value):
                     state.breaches += 1

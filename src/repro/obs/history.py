@@ -166,10 +166,23 @@ class MetricsHistory:
         """
         if not self.enabled:
             return
-        t = float(self._clock.now() if now is None else now)
         key: SeriesKey = (
             name, tuple(sorted((k, str(v)) for k, v in labels.items()))
         )
+        self.observe_key(key, value, now=now)
+
+    def observe_key(
+        self, key: SeriesKey, value: float, *, now: float | None = None
+    ) -> None:
+        """:meth:`observe` with a prebuilt series key.
+
+        The fleet TSDB merge path calls this once per shipped sample on
+        every sync cycle; the caller guarantees the key's label items
+        are already ``(name, value)`` string pairs in sorted order.
+        """
+        if not self.enabled:
+            return
+        t = float(self._clock.now() if now is None else now)
         series = self._series.get(key)
         if series is None:
             series = self._series.setdefault(key, _Series())
@@ -227,6 +240,33 @@ class MetricsHistory:
         if name is None:
             return keys
         return [k for k in keys if k[0] == name]
+
+    def last_sample(self, key: SeriesKey) -> tuple[float, float] | None:
+        """Newest ``(t, value)`` of one exact series (None when absent).
+
+        Unlike :meth:`last`, no partial-label pooling: the key must match
+        a stored series exactly (as returned by :meth:`series_keys`).
+        """
+        series = self._series.get(key)
+        return series.last() if series is not None else None
+
+    def purge_labels(self, **labels: str) -> int:
+        """Drop every series whose labels are a superset of ``labels``.
+
+        The history-side counterpart of registry ``remove_labels``: when
+        a federation member leaves, its stored series would otherwise
+        keep matching partial-label queries forever — a phantom member
+        inflating ``quantile_over_time`` pools and ``last()`` sums.
+        Returns the number of series dropped; at least one label is
+        required (an empty filter would silently drop everything).
+        """
+        if not labels:
+            raise ValueError("purge_labels() requires at least one label")
+        want = {(k, str(v)) for k, v in labels.items()}
+        doomed = [key for key in self._series if want <= set(key[1])]
+        for key in doomed:
+            del self._series[key]
+        return len(doomed)
 
     def samples(self, name: str, **labels: str) -> list[tuple[float, float]]:
         """All stored ``(t, value)`` samples of the matching series.

@@ -368,6 +368,42 @@ class MetricsRegistry:
                 else:
                     yield family.name, key, float(child.value)  # type: ignore[attr-defined]
 
+    def iter_exposition_samples(self):
+        """Yield ``(sample_name, sorted label items, value)`` per sample.
+
+        The full exposition walk — histogram ``_bucket`` (cumulative,
+        ``le``-labelled, ``+Inf`` included), ``_sum`` and ``_count``
+        series and all — producing exactly the samples
+        :func:`parse_prometheus_text` recovers from
+        :meth:`render_prometheus`, without the text round-trip.  The
+        telemetry shipment builder walks this on every sync cycle, so it
+        must stay cheap and byte-compatible with the rendered form.
+        """
+        with self._lock:
+            families = sorted(self._families.values(), key=lambda f: f.name)
+        for family in families:
+            for labels, child in family.items():
+                base = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+                if isinstance(child, _Histogram):
+                    cumulative = 0
+                    for bound, n in zip(child.buckets, child.counts):
+                        cumulative += n
+                        key = tuple(sorted(base + (("le", _fmt(bound)),)))
+                        yield family.name + "_bucket", key, float(cumulative)
+                    cumulative += child.counts[-1]
+                    key = tuple(sorted(base + (("le", "+Inf"),)))
+                    yield family.name + "_bucket", key, float(cumulative)
+                    yield family.name + "_sum", base, float(child.sum)
+                    yield family.name + "_count", base, float(child.count)
+                else:
+                    yield family.name, base, float(child.value)  # type: ignore[attr-defined]
+
+    def type_names(self) -> dict[str, str]:
+        """Family name -> exposition type, in family-name order."""
+        with self._lock:
+            families = sorted(self._families.values(), key=lambda f: f.name)
+        return {family.name: family.type_name for family in families}
+
     # -- exposition ------------------------------------------------------------
 
     def render_prometheus(self) -> str:

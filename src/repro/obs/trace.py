@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import threading
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
@@ -164,7 +165,13 @@ _NOOP_SPAN = _NoopSpan()
 
 
 class Tracer:
-    """Collects spans up to ``max_spans`` (drops and counts the excess).
+    """Collects finished spans in a bounded ring buffer.
+
+    ``max_spans`` caps the in-memory buffer: overflow evicts the
+    *oldest* finished span (long-running ``serve`` sessions keep the
+    most recent traces, not the boot-time ones) and counts the eviction
+    in ``spans_dropped`` — and, once :meth:`bind_metrics` has been
+    called, in the ``obs_spans_dropped_total`` counter.
 
     ``name`` identifies the owning instance inside a federation; it tags
     every finished span and prefixes minted trace ids, which keeps span
@@ -184,10 +191,22 @@ class Tracer:
         self.max_spans = max_spans
         self.name = name
         self.spans_dropped = 0
-        self._spans: list[SpanRecord] = []
+        self._spans: deque[SpanRecord] = deque()
         self._id_lock = create_lock("Tracer.id")  # guards: _id, _spans, spans_dropped
         self._id = 0
         self._local = threading.local()
+        self._c_dropped = None  # bound by bind_metrics()
+
+    def bind_metrics(self, registry) -> None:
+        """Expose ring-buffer evictions as ``obs_spans_dropped_total``.
+
+        Called by :class:`~repro.obs.Observability` at construction; safe
+        to call again (registration is idempotent).
+        """
+        self._c_dropped = registry.counter(
+            "obs_spans_dropped_total",
+            "Finished spans evicted from the tracer ring buffer",
+        )
 
     def _next_id(self) -> int:
         with self._id_lock:
@@ -204,11 +223,21 @@ class Tracer:
         return stack
 
     def _record(self, record: SpanRecord) -> None:
+        dropped = False
         with self._id_lock:
-            if len(self._spans) >= self.max_spans:
+            if self.max_spans <= 0:
                 self.spans_dropped += 1
+                dropped = True
             else:
+                if len(self._spans) >= self.max_spans:
+                    self._spans.popleft()
+                    self.spans_dropped += 1
+                    dropped = True
                 self._spans.append(record)
+        # counter bump outside the id lock: first resolution may take the
+        # metric family's child lock, and Tracer.id must stay a leaf
+        if dropped and self._c_dropped is not None:
+            self._c_dropped.inc()
 
     def span(self, name: str, *, remote=None, **attrs):
         """``with tracer.span("stage", key=value): ...``

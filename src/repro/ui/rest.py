@@ -11,6 +11,9 @@ for one instance (or a federation hub's combined sources):
 - ``GET /metrics`` — the telemetry registry in Prometheus text format
   (needs an :class:`~repro.obs.Observability` bundle); each scrape also
   snapshots the registry into the metrics history
+- ``GET /fleet/metrics`` — the merged fleet exposition: every member's
+  shipped telemetry under its ``member`` label, from the hub's
+  :class:`~repro.obs.fleet.FleetTSDB` (needs a monitor over a hub)
 - ``GET /alerts`` — evaluate and dump the monitor's SLO alert states
 - ``GET /realms`` — realm catalog with metrics and dimensions
 - ``GET /query?realm=jobs&metric=xdsu&start=...&end=...&period=month``
@@ -49,7 +52,7 @@ from typing import Any, Mapping
 
 from ..analysis.sanitizer import create_lock
 from ..auth.accounts import Session
-from ..obs import PROMETHEUS_CONTENT_TYPE, Observability
+from ..obs import PROMETHEUS_CONTENT_TYPE, Observability, alert_rule
 from ..realms.base import Realm
 from ..warehouse import Schema
 from .serving import (
@@ -63,8 +66,8 @@ from .serving import (
 #: Routes that get their own label on the request counter/histogram;
 #: anything else is folded into "other" to bound label cardinality.
 _KNOWN_ROUTES = (
-    "/", "/health", "/status", "/alerts", "/metrics", "/realms",
-    "/query", "/chart", "/jobs/efficiency",
+    "/", "/health", "/status", "/alerts", "/metrics", "/fleet/metrics",
+    "/realms", "/query", "/chart", "/jobs/efficiency",
 )
 
 
@@ -289,6 +292,16 @@ class XdmodApi:
                 self.obs.history.record()
                 body = self.obs.registry.render_prometheus().encode("utf-8")
                 response = 200, PROMETHEUS_CONTENT_TYPE, body, {}
+            elif route == "/fleet/metrics":
+                fleet = self._fleet()
+                if fleet is None:
+                    body = json.dumps(
+                        {"error": "no fleet TSDB attached"}
+                    ).encode()
+                    response = 404, "application/json", body, {}
+                else:
+                    body = fleet.render_prometheus().encode("utf-8")
+                    response = 200, PROMETHEUS_CONTENT_TYPE, body, {}
             else:
                 status, payload, extra = self.handle_full(path, headers)
                 if status == 304:
@@ -312,11 +325,23 @@ class XdmodApi:
             )
         return response
 
+    def _fleet(self):
+        """The hub's fleet TSDB when a monitor over a hub is attached."""
+        return getattr(getattr(self.monitor, "hub", None), "fleet", None)
+
     def _health(self) -> tuple[int, dict[str, Any]]:
         """Liveness, upgraded to readiness when a monitor is attached."""
         payload: dict[str, Any] = {
             "status": "ok", "realms": sorted(self.realms),
         }
+        fleet = self._fleet()
+        if fleet is not None and fleet.enabled:
+            stale = fleet.stale_members(
+                alert_rule("fleet_telemetry_stale").max_age_s
+            )
+            payload["fleet_stale_members"] = stale
+            if stale:
+                payload["status"] = "degraded"
         if self.monitor is not None:
             snapshot = self.monitor.status()
             payload["max_lag"] = snapshot.max_lag
